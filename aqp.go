@@ -1,0 +1,382 @@
+// Package aqp is the public API of this repository: an embeddable
+// approximate-query-processing framework reproducing the design space of
+// "Approximate Query Processing: No Silver Bullet" (SIGMOD 2017).
+//
+// A DB wraps an in-memory columnar catalog and four interchangeable query
+// engines — exact, online sampling (Quickr-style), offline precomputed
+// samples (BlinkDB-style), and online aggregation — plus precomputed
+// synopses (histograms, Count-Min, HyperLogLog) and an advisor that picks
+// a technique per query and reports the statistical strength of each
+// answer. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the reproduced experiments.
+//
+// Quickstart:
+//
+//	db := aqp.New()
+//	tbl, _ := db.CreateTable("t", aqp.Schema{
+//		{Name: "x", Type: aqp.TypeFloat64},
+//	})
+//	tbl.AppendRow(aqp.Float64(3.14))
+//	res, _ := db.Query("SELECT COUNT(*), AVG(x) FROM t")
+//	approx, _ := db.QueryApprox("SELECT SUM(x) FROM t WITH ERROR 5% CONFIDENCE 95%")
+package aqp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Re-exported substrate types, so downstream users rarely need internal
+// packages.
+type (
+	// Type is a column type.
+	Type = storage.Type
+	// Value is a dynamically typed scalar.
+	Value = storage.Value
+	// Schema is an ordered list of column definitions.
+	Schema = storage.Schema
+	// ColumnDef describes one column.
+	ColumnDef = storage.ColumnDef
+	// Table is an append-only columnar table.
+	Table = storage.Table
+	// Catalog is a named collection of tables.
+	Catalog = storage.Catalog
+	// ErrorSpec is the (relative error, confidence) accuracy contract.
+	ErrorSpec = core.ErrorSpec
+	// Result is an annotated query result.
+	Result = core.Result
+	// ItemResult annotates one output value with its CI.
+	ItemResult = core.ItemResult
+	// Technique tags the engine that answered.
+	Technique = core.Technique
+	// Guarantee grades the statistical strength of an answer.
+	Guarantee = core.Guarantee
+	// Decision explains an advisor routing choice.
+	Decision = core.Decision
+	// Interval is a confidence interval.
+	Interval = stats.Interval
+	// Progress is an online-aggregation checkpoint.
+	Progress = core.Progress
+	// OnlineConfig tunes the query-time sampling engine.
+	OnlineConfig = core.OnlineConfig
+	// OfflineConfig tunes offline sample construction.
+	OfflineConfig = core.OfflineConfig
+	// OLAConfig tunes online aggregation.
+	OLAConfig = core.OLAConfig
+)
+
+// Column types.
+const (
+	TypeInt64   = storage.TypeInt64
+	TypeFloat64 = storage.TypeFloat64
+	TypeString  = storage.TypeString
+	TypeBool    = storage.TypeBool
+)
+
+// Guarantee levels.
+const (
+	GuaranteeExact       = core.GuaranteeExact
+	GuaranteeAPriori     = core.GuaranteeAPriori
+	GuaranteeAPosteriori = core.GuaranteeAPosteriori
+	GuaranteeNone        = core.GuaranteeNone
+)
+
+// Techniques.
+const (
+	TechniqueExact    = core.TechniqueExact
+	TechniqueOnline   = core.TechniqueOnline
+	TechniqueOffline  = core.TechniqueOffline
+	TechniqueOLA      = core.TechniqueOLA
+	TechniqueSynopsis = core.TechniqueSynopsis
+)
+
+// Value constructors.
+var (
+	// Int64 wraps an int64 value.
+	Int64 = storage.Int64
+	// Float64 wraps a float64 value.
+	Float64 = storage.Float64
+	// Str wraps a string value.
+	Str = storage.Str
+	// Bool wraps a bool value.
+	Bool = storage.Bool
+	// Null returns a typed NULL.
+	Null = storage.NullValue
+	// DefaultErrorSpec is 5% error at 95% confidence.
+	DefaultErrorSpec = core.DefaultErrorSpec
+)
+
+// Option configures a DB.
+type Option func(*DB)
+
+// WithOnlineConfig overrides the online engine configuration.
+func WithOnlineConfig(cfg OnlineConfig) Option {
+	return func(db *DB) { db.onlineCfg = cfg }
+}
+
+// WithOfflineConfig overrides the offline engine configuration.
+func WithOfflineConfig(cfg OfflineConfig) Option {
+	return func(db *DB) { db.offlineCfg = cfg }
+}
+
+// WithOLAConfig overrides the online-aggregation configuration.
+func WithOLAConfig(cfg OLAConfig) Option {
+	return func(db *DB) { db.olaCfg = cfg }
+}
+
+// DB is the top-level handle: a catalog plus the engine suite.
+type DB struct {
+	catalog    *storage.Catalog
+	onlineCfg  OnlineConfig
+	offlineCfg OfflineConfig
+	olaCfg     OLAConfig
+
+	exact    *core.ExactEngine
+	online   *core.OnlineEngine
+	offline  *core.OfflineEngine
+	ola      *core.OLAEngine
+	synopsis *core.SynopsisEngine
+	advisor  *core.Advisor
+}
+
+// New creates an empty database.
+func New(opts ...Option) *DB {
+	return Open(storage.NewCatalog(), opts...)
+}
+
+// Open wraps an existing catalog (e.g. one produced by a workload
+// generator).
+func Open(cat *storage.Catalog, opts ...Option) *DB {
+	db := &DB{
+		catalog:    cat,
+		onlineCfg:  core.DefaultOnlineConfig(),
+		offlineCfg: core.DefaultOfflineConfig(),
+		olaCfg:     core.DefaultOLAConfig(),
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	db.exact = core.NewExactEngine(cat)
+	db.online = core.NewOnlineEngine(cat, db.onlineCfg)
+	db.offline = core.NewOfflineEngine(cat, db.offlineCfg)
+	db.ola = core.NewOLAEngine(cat, db.olaCfg)
+	db.synopsis = core.NewSynopsisEngine(cat)
+	db.advisor = core.NewAdvisor(db.exact, db.online, db.offline, db.ola, db.synopsis)
+	return db
+}
+
+// Catalog returns the underlying catalog.
+func (db *DB) Catalog() *storage.Catalog { return db.catalog }
+
+// CreateTable creates and registers an empty table.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	t := storage.NewTable(name, schema)
+	if err := db.catalog.Add(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table looks up a registered table.
+func (db *DB) Table(name string) (*Table, error) { return db.catalog.Table(name) }
+
+// Query executes a query exactly.
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.exact.Execute(stmt, DefaultErrorSpec)
+}
+
+// QueryApprox routes a query through the advisor: offline samples when a
+// certified fresh sample exists, synopses for their narrow class, online
+// sampling otherwise, exact when nothing else is defensible. A `WITH
+// ERROR e% CONFIDENCE c%` clause in the SQL overrides spec.
+func (db *DB) QueryApprox(sql string, spec ...ErrorSpec) (*Result, error) {
+	s := DefaultErrorSpec
+	if len(spec) > 0 {
+		s = spec[0]
+	}
+	res, dec, err := db.advisor.Execute(sql, s)
+	if err != nil {
+		return nil, err
+	}
+	res.Diagnostics.Messages = append(res.Diagnostics.Messages, "advisor: "+dec.Reason)
+	return res, nil
+}
+
+// Advise explains which technique the advisor would use, without running
+// the query.
+func (db *DB) Advise(sql string, spec ...ErrorSpec) (Decision, error) {
+	s := DefaultErrorSpec
+	if len(spec) > 0 {
+		s = spec[0]
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return Decision{}, err
+	}
+	if stmt.Error != nil {
+		s = ErrorSpec{RelError: stmt.Error.RelError, Confidence: stmt.Error.Confidence}
+	}
+	return db.advisor.Choose(stmt, s), nil
+}
+
+// QueryAsWritten executes the SQL exactly as written, honoring any
+// TABLESAMPLE clauses, and annotates aggregates with confidence intervals
+// when sampling was involved. This is the manual-control path for users
+// who place their own samplers.
+func (db *DB) QueryAsWritten(sql string, spec ...ErrorSpec) (*Result, error) {
+	s := DefaultErrorSpec
+	if len(spec) > 0 {
+		s = spec[0]
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Error != nil {
+		s = ErrorSpec{RelError: stmt.Error.RelError, Confidence: stmt.Error.Confidence}
+	}
+	return core.ExecuteAsWritten(db.catalog, stmt, s)
+}
+
+// QueryOnline forces the query-time-sampling engine.
+func (db *DB) QueryOnline(sql string, spec ErrorSpec) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.online.Execute(stmt, spec)
+}
+
+// QueryOffline forces the offline-samples engine.
+func (db *DB) QueryOffline(sql string, spec ErrorSpec) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.offline.Execute(stmt, spec)
+}
+
+// QueryOLA runs online aggregation to completion (or early stop per
+// config), ignoring intermediate checkpoints.
+func (db *DB) QueryOLA(sql string, spec ErrorSpec) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ola.Execute(stmt, spec)
+}
+
+// QueryProgressive runs online aggregation, invoking observe at every
+// checkpoint; observe returning false stops the stream.
+func (db *DB) QueryProgressive(sql string, spec ErrorSpec, observe func(Progress) bool) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ola.ExecuteProgressive(stmt, spec, observe)
+}
+
+// BuildOfflineSamples materializes the offline sample ladder for a table
+// over the given query column sets (the precomputation step).
+func (db *DB) BuildOfflineSamples(table string, qcsList [][]string) error {
+	return db.offline.BuildSamples(table, qcsList)
+}
+
+// ProfileOffline runs profiling queries to build the error–latency
+// profile that certifies offline samples against error specs.
+func (db *DB) ProfileOffline(sqls ...string) error {
+	for _, q := range sqls {
+		if err := db.offline.ProfileQuery(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RebuildOfflineSamples refreshes a table's samples after updates,
+// accumulating maintenance cost.
+func (db *DB) RebuildOfflineSamples(table string) error { return db.offline.Rebuild(table) }
+
+// OfflineEngine exposes the offline engine for advanced inspection
+// (maintenance stats, stored samples).
+func (db *DB) OfflineEngine() *core.OfflineEngine { return db.offline }
+
+// OnlineEngine exposes the online engine.
+func (db *DB) OnlineEngine() *core.OnlineEngine { return db.online }
+
+// SynopsisEngine exposes the synopsis engine.
+func (db *DB) SynopsisEngine() *core.SynopsisEngine { return db.synopsis }
+
+// BuildSynopsis builds histogram/HLL/CMS synopses for a column.
+func (db *DB) BuildSynopsis(table, column string) error {
+	return db.synopsis.BuildColumn(table, column, 0)
+}
+
+// PropertyMatrix measures the no-silver-bullet matrix over probe queries.
+func (db *DB) PropertyMatrix(probe []string, spec ErrorSpec) ([]core.TechniqueProperties, error) {
+	return db.advisor.Matrix(probe, spec)
+}
+
+// Explain renders the optimized logical plan of a query.
+func (db *DB) Explain(sql string) (string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	p, err := plan.Build(stmt, db.catalog)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(p), nil
+}
+
+// Exec runs a raw plan for a statement and returns the executor-level
+// result — an escape hatch for tooling that needs counters or weights.
+func (db *DB) Exec(sql string) (*exec.Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(stmt, db.catalog)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(p)
+}
+
+// FormatResult renders a result as an aligned text table with CI
+// annotations for approximate aggregates.
+func FormatResult(r *Result) string {
+	out := ""
+	for _, c := range r.Columns {
+		out += fmt.Sprintf("%-22s", c)
+	}
+	out += "\n"
+	for i, row := range r.Rows {
+		for j, v := range row {
+			cell := v.String()
+			if j < len(r.Items[i]) {
+				it := r.Items[i][j]
+				if it.HasCI && it.CI.Width() > 0 {
+					cell += fmt.Sprintf(" ±%.3g", it.CI.HalfWidth())
+				}
+			}
+			out += fmt.Sprintf("%-22s", cell)
+		}
+		out += "\n"
+	}
+	out += fmt.Sprintf("-- technique=%s guarantee=%s rows_scanned=%d sample_fraction=%.4f latency=%s\n",
+		r.Technique, r.Guarantee, r.Diagnostics.Counters.RowsScanned,
+		r.Diagnostics.SampleFraction, r.Diagnostics.Latency)
+	return out
+}

@@ -1,0 +1,53 @@
+// Command aqpbench runs the reproduction experiment suite (E1–E12; see
+// DESIGN.md for the per-experiment index) and prints paper-style tables.
+//
+// Usage:
+//
+//	aqpbench -exp E4              # one experiment
+//	aqpbench -exp all -rows 1000000 -trials 30
+//	aqpbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment ID (E1..E12) or 'all'")
+		rows   = flag.Int("rows", experiments.DefaultScale.Rows, "fact-table rows")
+		trials = flag.Int("trials", experiments.DefaultScale.Trials, "Monte-Carlo trials")
+		seed   = flag.Int64("seed", experiments.DefaultScale.Seed, "random seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-5s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	scale := experiments.Scale{Rows: *rows, Trials: *trials, Seed: *seed}
+	ids := experiments.IDs()
+	if !strings.EqualFold(*exp, "all") {
+		ids = strings.Split(strings.ToUpper(*exp), ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiments.Run(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab)
+		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

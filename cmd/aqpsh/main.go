@@ -1,0 +1,225 @@
+// Command aqpsh is an interactive shell over the AQP framework. It
+// generates demo data on demand and executes SQL — exactly, approximately
+// via the advisor, or through a forced engine.
+//
+// Meta commands:
+//
+//	\gen star <rows> [skew]     generate the TPC-H-like star schema
+//	\gen events <rows> <groups> [skew]
+//	\tables                     list tables
+//	\explain <sql>              show the optimized plan
+//	\exact <sql>                force exact execution
+//	\online <sql>               force query-time sampling
+//	\offline <sql>              force offline samples
+//	\ola <sql>                  force online aggregation (progressive)
+//	\prep <table> <col,col...>  build offline samples on a QCS
+//	\profile <sql>              profile a query shape for offline certification
+//	\synopsis <table> <col>     build histogram/HLL/CMS synopses
+//	\advise <sql>               show which engine the advisor would pick
+//	\matrix <sql> [; <sql>...]  measure the no-silver-bullet matrix on probes
+//	\quit
+//
+// Plain SQL runs through the advisor; append `WITH ERROR 5% CONFIDENCE
+// 95%` to set the accuracy contract.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	aqp "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	db := aqp.New()
+	fmt.Println("aqpsh — approximate query shell (\\gen to create data, \\quit to exit)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("aqp> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if quit := meta(&db, line); quit {
+				return
+			}
+			continue
+		}
+		res, err := db.QueryApprox(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Print(aqp.FormatResult(res))
+		for _, m := range res.Diagnostics.Messages {
+			fmt.Println("  ·", m)
+		}
+	}
+}
+
+// meta handles backslash commands; returns true to quit.
+func meta(dbp **aqp.DB, line string) bool {
+	db := *dbp
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(line, cmd))
+	switch cmd {
+	case "\\quit", "\\q":
+		return true
+	case "\\tables":
+		for _, n := range db.Catalog().Names() {
+			t, err := db.Table(n)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%-12s %8d rows  (%s)\n", n, t.NumRows(),
+				strings.Join(t.Schema().Names(), ", "))
+		}
+	case "\\gen":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\gen star <rows> [skew] | \\gen events <rows> <groups> [skew]")
+			return false
+		}
+		rows, err := strconv.Atoi(fields[2])
+		if err != nil {
+			fmt.Println("bad row count:", fields[2])
+			return false
+		}
+		switch fields[1] {
+		case "star":
+			skew := 0.0
+			if len(fields) > 3 {
+				skew, _ = strconv.ParseFloat(fields[3], 64)
+			}
+			star, err := workload.GenerateStar(workload.Config{Seed: 42, LineitemRows: rows, Skew: skew})
+			if err != nil {
+				fmt.Println("error:", err)
+				return false
+			}
+			*dbp = aqp.Open(star.Catalog)
+			fmt.Printf("generated star schema: lineitem=%d orders=%d customer=%d part=%d supplier=%d\n",
+				star.Lineitem.NumRows(), star.Orders.NumRows(), star.Customer.NumRows(),
+				star.Part.NumRows(), star.Supplier.NumRows())
+		case "events":
+			if len(fields) < 4 {
+				fmt.Println("usage: \\gen events <rows> <groups> [skew]")
+				return false
+			}
+			groups, _ := strconv.Atoi(fields[3])
+			skew := 0.0
+			if len(fields) > 4 {
+				skew, _ = strconv.ParseFloat(fields[4], 64)
+			}
+			ev, err := workload.GenerateEvents(workload.EventsConfig{
+				Seed: 42, Rows: rows, NumGroups: groups, Skew: skew})
+			if err != nil {
+				fmt.Println("error:", err)
+				return false
+			}
+			*dbp = aqp.Open(ev.Catalog)
+			fmt.Printf("generated events: %d rows, %d groups, skew %.2f\n", rows, groups, skew)
+		default:
+			fmt.Println("unknown dataset:", fields[1])
+		}
+	case "\\explain":
+		out, err := db.Explain(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Print(out)
+	case "\\advise":
+		d, err := db.Advise(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("technique=%s guarantee=%s reason=%s\n", d.Technique, d.Guarantee, d.Reason)
+	case "\\exact":
+		show(db.Query(rest))
+	case "\\online":
+		show(db.QueryOnline(rest, aqp.DefaultErrorSpec))
+	case "\\offline":
+		show(db.QueryOffline(rest, aqp.DefaultErrorSpec))
+	case "\\ola":
+		res, err := db.QueryProgressive(rest, aqp.DefaultErrorSpec, func(p aqp.Progress) bool {
+			fmt.Printf("  %5.1f%% read, current max CI half-width %.4f\n",
+				p.Fraction*100, p.Result.MaxRelHalfWidth())
+			return true
+		})
+		show(res, err)
+	case "\\prep":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\prep <table> <col[,col...]>")
+			return false
+		}
+		qcs := strings.Split(fields[2], ",")
+		if err := db.BuildOfflineSamples(fields[1], [][]string{qcs}); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("built offline samples for %s on (%s)\n", fields[1], fields[2])
+	case "\\profile":
+		if err := db.ProfileOffline(rest); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Println("profiled")
+	case "\\matrix":
+		probes := []string{}
+		for _, q := range strings.Split(rest, ";") {
+			if q = strings.TrimSpace(q); q != "" {
+				probes = append(probes, q)
+			}
+		}
+		if len(probes) == 0 {
+			fmt.Println("usage: \\matrix <sql> [; <sql>...]")
+			return false
+		}
+		rows, err := db.PropertyMatrix(probes, aqp.DefaultErrorSpec)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("%-20s %10s %10s %11s %12s\n",
+			"technique", "supported", "a-priori", "work-saved", "precompute")
+		for _, r := range rows {
+			fmt.Printf("%-20s %9.0f%% %9.0f%% %10.0f%% %12d\n",
+				r.Technique, r.SupportedFraction*100, r.APrioriFraction*100,
+				r.MeanWorkSaved*100, r.PrecomputeRows)
+		}
+	case "\\synopsis":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\synopsis <table> <col>")
+			return false
+		}
+		if err := db.BuildSynopsis(fields[1], fields[2]); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("built synopses for %s.%s\n", fields[1], fields[2])
+	default:
+		fmt.Println("unknown command:", cmd)
+	}
+	return false
+}
+
+func show(res *aqp.Result, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(aqp.FormatResult(res))
+	for _, m := range res.Diagnostics.Messages {
+		fmt.Println("  ·", m)
+	}
+}

@@ -1,0 +1,90 @@
+package aqp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/storage"
+)
+
+// LoadCSV reads CSV data (with a header row naming columns in schema
+// order) into a new table registered under name. Values parse per the
+// schema; empty cells and the literal NULL become NULLs.
+func (db *DB) LoadCSV(name string, schema Schema, r io.Reader) (*Table, error) {
+	t, err := db.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(schema)
+	// Header row.
+	if _, err := cr.Read(); err != nil {
+		if err == io.EOF {
+			return t, nil
+		}
+		return nil, fmt.Errorf("aqp: read CSV header: %w", err)
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("aqp: read CSV line %d: %w", line, err)
+		}
+		line++
+		vals := make([]Value, len(schema))
+		for i, cell := range rec {
+			v, err := storage.ParseValue(schema[i].Type, cell)
+			if err != nil {
+				return nil, fmt.Errorf("aqp: CSV line %d column %s: %w", line, schema[i].Name, err)
+			}
+			vals[i] = v
+		}
+		if err := t.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// DumpTableCSV writes an entire table as CSV with a header row.
+func DumpTableCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return err
+	}
+	n := t.NumRows()
+	rec := make([]string, len(t.Schema()))
+	for i := 0; i < n; i++ {
+		for j := range rec {
+			rec[j] = t.Column(j).Value(i).String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DumpCSV writes a result as CSV.
+func DumpCSV(w io.Writer, r *Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(r.Columns))
+	for _, row := range r.Rows {
+		for j, v := range row {
+			rec[j] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// detailWith builds a GroupDetail with the given per-slot estimates and
+// variances, all from n=100 weighted observations.
+func detailWith(ests, vars []float64) *exec.GroupDetail {
+	d := &exec.GroupDetail{GroupN: 100}
+	for i := range ests {
+		d.Aggs = append(d.Aggs, exec.AggDetail{
+			Estimate: ests[i], Variance: vars[i], N: 100, Weighted: true, Supported: true})
+	}
+	return d
+}
+
+func TestItemIntervalSingleAggregate(t *testing.T) {
+	agg := &sqlparse.AggExpr{Func: sqlparse.AggSum, Slot: 0}
+	d := detailWith([]float64{1000}, []float64{100})
+	iv, isAgg, ok := itemInterval(agg, d, 0.95)
+	if !isAgg || !ok {
+		t.Fatalf("isAgg=%v ok=%v", isAgg, ok)
+	}
+	if !iv.Contains(1000) {
+		t.Errorf("interval %v should contain the estimate", iv)
+	}
+	// Half width ≈ z * sqrt(100) = ~19.6 for normal, a bit more for t(99).
+	if iv.HalfWidth() < 15 || iv.HalfWidth() > 25 {
+		t.Errorf("half width = %v", iv.HalfWidth())
+	}
+}
+
+func TestItemIntervalExactAggregate(t *testing.T) {
+	agg := &sqlparse.AggExpr{Func: sqlparse.AggCount, Slot: 0}
+	d := &exec.GroupDetail{Aggs: []exec.AggDetail{{Estimate: 42, N: 42, Supported: true}}}
+	iv, isAgg, ok := itemInterval(agg, d, 0.95)
+	if !isAgg || !ok {
+		t.Fatal("exact aggregate must still be annotated")
+	}
+	if iv.Lo != 42 || iv.Hi != 42 {
+		t.Errorf("exact aggregate interval must be degenerate: %v", iv)
+	}
+}
+
+func TestItemIntervalUnsupportedAggregate(t *testing.T) {
+	agg := &sqlparse.AggExpr{Func: sqlparse.AggMax, Slot: 0}
+	d := &exec.GroupDetail{Aggs: []exec.AggDetail{{Estimate: 5, Weighted: true, Supported: false}}}
+	_, isAgg, ok := itemInterval(agg, d, 0.95)
+	if !isAgg || ok {
+		t.Error("unsupported aggregate must report isAgg && !ok")
+	}
+}
+
+func TestItemIntervalRatioOfSums(t *testing.T) {
+	// SUM(a)/SUM(b) with tight component intervals.
+	ratio := &expr.Binary{Op: expr.OpDiv,
+		L: &sqlparse.AggExpr{Func: sqlparse.AggSum, Slot: 0},
+		R: &sqlparse.AggExpr{Func: sqlparse.AggSum, Slot: 1},
+	}
+	d := detailWith([]float64{1000, 500}, []float64{1, 1})
+	iv, isAgg, ok := itemInterval(ratio, d, 0.95)
+	if !isAgg || !ok {
+		t.Fatalf("ratio: isAgg=%v ok=%v", isAgg, ok)
+	}
+	if !iv.Contains(2) {
+		t.Errorf("ratio interval %v should contain 2", iv)
+	}
+	if iv.Width() > 0.1 {
+		t.Errorf("tight components give a tight ratio: %v", iv)
+	}
+	// Denominator straddling zero blows up honestly.
+	d2 := detailWith([]float64{1000, 0}, []float64{1, 100})
+	iv, _, ok = itemInterval(ratio, d2, 0.95)
+	if !ok {
+		t.Fatal("zero-straddling denominator still produces an (unbounded) interval")
+	}
+	if !math.IsInf(iv.Hi, 1) && !math.IsInf(iv.Lo, -1) {
+		t.Errorf("expected unbounded interval, got %v", iv)
+	}
+}
+
+func TestItemIntervalScaledAggregate(t *testing.T) {
+	// SUM(x) * 2 + 10
+	e := &expr.Binary{Op: expr.OpAdd,
+		L: &expr.Binary{Op: expr.OpMul,
+			L: &sqlparse.AggExpr{Func: sqlparse.AggSum, Slot: 0},
+			R: &expr.Lit{Val: storage.Int64(2)}},
+		R: &expr.Lit{Val: storage.Int64(10)},
+	}
+	d := detailWith([]float64{100}, []float64{4})
+	iv, isAgg, ok := itemInterval(e, d, 0.95)
+	if !isAgg || !ok {
+		t.Fatal("scaled aggregate must propagate")
+	}
+	if !iv.Contains(210) {
+		t.Errorf("interval %v should contain 210", iv)
+	}
+	// Negation flips bounds.
+	neg := &expr.Unary{Op: expr.OpNeg, X: &sqlparse.AggExpr{Func: sqlparse.AggSum, Slot: 0}}
+	nv, _, ok := itemInterval(neg, d, 0.95)
+	if !ok || nv.Hi > 0 {
+		t.Errorf("negated interval = %v", nv)
+	}
+}
+
+func TestItemIntervalMixedGroupAggregate(t *testing.T) {
+	// g + SUM(x): no defensible interval.
+	e := &expr.Binary{Op: expr.OpAdd,
+		L: &expr.ColRef{Name: "g"},
+		R: &sqlparse.AggExpr{Func: sqlparse.AggSum, Slot: 0},
+	}
+	d := detailWith([]float64{100}, []float64{4})
+	_, isAgg, ok := itemInterval(e, d, 0.95)
+	if !isAgg || ok {
+		t.Error("mixed group+aggregate items must refuse a CI")
+	}
+}
+
+func TestItemIntervalFunctionOfAggregate(t *testing.T) {
+	e := &expr.Call{Name: "SQRT", Args: []expr.Expr{
+		&sqlparse.AggExpr{Func: sqlparse.AggSum, Slot: 0}}}
+	d := detailWith([]float64{100}, []float64{4})
+	_, isAgg, ok := itemInterval(e, d, 0.95)
+	if !isAgg || ok {
+		t.Error("functions of aggregates have no closed-form propagation")
+	}
+}
+
+func TestItemIntervalNilDetail(t *testing.T) {
+	agg := &sqlparse.AggExpr{Func: sqlparse.AggSum, Slot: 0}
+	_, isAgg, ok := itemInterval(agg, nil, 0.95)
+	if !isAgg || ok {
+		t.Error("missing detail must refuse a CI")
+	}
+}
+
+func TestAnnotateSpecSatisfaction(t *testing.T) {
+	// Build a tiny exec.Result by hand: one group, one SUM with a CI that
+	// misses a tight spec but meets a loose one.
+	stmt := parse(t, "SELECT SUM(x) AS s FROM t")
+	res := &exec.Result{
+		Schema: storage.Schema{{Name: "s", Type: storage.TypeFloat64}},
+		Rows:   [][]storage.Value{{storage.Float64(1000)}},
+		Details: []*exec.GroupDetail{
+			{GroupN: 50, Aggs: []exec.AggDetail{
+				{Estimate: 1000, Variance: 2500, N: 50, Weighted: true, Supported: true}}},
+		},
+	}
+	tight := annotate(stmt, res, ErrorSpec{RelError: 0.01, Confidence: 0.95},
+		TechniqueOnline, GuaranteeAPosteriori)
+	if tight.Diagnostics.SpecSatisfied {
+		t.Error("1% spec should not be satisfied with sd=50 on 1000")
+	}
+	loose := annotate(stmt, res, ErrorSpec{RelError: 0.5, Confidence: 0.95},
+		TechniqueOnline, GuaranteeAPosteriori)
+	if !loose.Diagnostics.SpecSatisfied {
+		t.Errorf("50%% spec should be satisfied: rel=%v", loose.MaxRelHalfWidth())
+	}
+	if tight.MaxRelHalfWidth() <= 0 {
+		t.Error("annotated aggregate should have a positive relative half-width")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{Columns: []string{"a", "b"},
+		Rows: [][]storage.Value{{storage.Int64(1), storage.Float64(2.5)}}}
+	if r.ColumnIndex("b") != 1 || r.ColumnIndex("z") != -1 {
+		t.Error("ColumnIndex")
+	}
+	if r.Float(0, 1) != 2.5 {
+		t.Error("Float")
+	}
+	if r.NumRows() != 1 {
+		t.Error("NumRows")
+	}
+}

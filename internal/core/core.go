@@ -1,0 +1,214 @@
+// Package core implements the AQP framework that is this repository's
+// reproduction target: the design space of approximate query processing
+// surveyed by "Approximate Query Processing: No Silver Bullet" (SIGMOD
+// 2017). It provides four interchangeable engines over the same SQL and
+// storage substrate —
+//
+//   - Exact: reference execution;
+//   - Online: Quickr-style query-time sampling (no precomputation, one
+//     pass, a-posteriori error reporting);
+//   - Offline: BlinkDB-style precomputed stratified samples over query
+//     column sets with error–latency profiles (a-priori error guarantees
+//     on predicted workloads, at the cost of maintenance);
+//   - OLA: online aggregation with progressively tightening estimates —
+//
+// plus an Advisor that picks a technique per query and reports, per the
+// paper's thesis, which of the desirable properties each choice gives up.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// ErrorSpec is the user's accuracy contract: every aggregate estimate must
+// simultaneously be within RelError of the truth with probability at least
+// Confidence.
+type ErrorSpec struct {
+	RelError   float64
+	Confidence float64
+}
+
+// Valid reports whether the spec is well-formed.
+func (s ErrorSpec) Valid() bool {
+	return s.RelError > 0 && s.RelError < 1 && s.Confidence > 0 && s.Confidence < 1
+}
+
+// DefaultErrorSpec is 5% relative error at 95% confidence.
+var DefaultErrorSpec = ErrorSpec{RelError: 0.05, Confidence: 0.95}
+
+// Guarantee classifies the statistical strength of a result, the axis the
+// paper argues systems are least honest about.
+type Guarantee uint8
+
+// Guarantee levels.
+const (
+	// GuaranteeExact: the answer is exact.
+	GuaranteeExact Guarantee = iota
+	// GuaranteeAPriori: the error spec was certified before execution
+	// (offline samples with a valid profile, fresh data, in-QCS query).
+	GuaranteeAPriori
+	// GuaranteeAPosteriori: confidence intervals were computed from the
+	// realized sample; the spec was checked after the fact.
+	GuaranteeAPosteriori
+	// GuaranteeNone: the result is approximate with no defensible error
+	// statement (e.g. stale offline samples, non-analyzable aggregates).
+	GuaranteeNone
+)
+
+// String names the guarantee level.
+func (g Guarantee) String() string {
+	switch g {
+	case GuaranteeExact:
+		return "exact"
+	case GuaranteeAPriori:
+		return "a-priori"
+	case GuaranteeAPosteriori:
+		return "a-posteriori"
+	default:
+		return "none"
+	}
+}
+
+// Technique identifies an AQP engine.
+type Technique string
+
+// Techniques.
+const (
+	TechniqueExact    Technique = "exact"
+	TechniqueOnline   Technique = "online-sampling"
+	TechniqueOffline  Technique = "offline-samples"
+	TechniqueOLA      Technique = "online-aggregation"
+	TechniqueSynopsis Technique = "synopsis"
+)
+
+// ItemResult is the statistical annotation of one select item in one
+// output row.
+type ItemResult struct {
+	// Name is the output column name.
+	Name string
+	// Value is the point value (also present in the result row).
+	Value storage.Value
+	// IsAggregate reports whether the item involves aggregation.
+	IsAggregate bool
+	// HasCI reports whether a confidence interval could be derived.
+	HasCI bool
+	// CI is the confidence interval (when HasCI).
+	CI stats.Interval
+	// RelHalfWidth is the CI half-width relative to the estimate.
+	RelHalfWidth float64
+}
+
+// Diagnostics records the physical and statistical facts of an execution.
+type Diagnostics struct {
+	Counters exec.Counters
+	// SampleFraction is rows emitted / rows in sampled tables (1 for
+	// exact runs).
+	SampleFraction float64
+	// Latency is wall-clock execution time.
+	Latency time.Duration
+	// FellBackToExact reports that the engine declined to approximate.
+	FellBackToExact bool
+	// SpecSatisfied reports whether every aggregate's CI met the spec
+	// (meaningful for approximate runs).
+	SpecSatisfied bool
+	// Stale reports that an offline sample was out of date.
+	Stale bool
+	// Messages carries human-readable engine notes.
+	Messages []string
+}
+
+// Result is an annotated query result.
+type Result struct {
+	Columns []string
+	Rows    [][]storage.Value
+	// Items annotates each row's select items: Items[i][j] corresponds
+	// to Rows[i][j].
+	Items [][]ItemResult
+	// Technique that produced the result.
+	Technique Technique
+	// Guarantee strength of the error statement.
+	Guarantee Guarantee
+	// Spec the result was produced under (zero for exact).
+	Spec        ErrorSpec
+	Diagnostics Diagnostics
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return len(r.Rows) }
+
+// Float returns the row i, column j value as float64.
+func (r *Result) Float(i, j int) float64 { return r.Rows[i][j].AsFloat() }
+
+// ColumnIndex returns the index of a named output column, or -1.
+func (r *Result) ColumnIndex(name string) int {
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MaxRelHalfWidth returns the largest relative CI half-width across all
+// aggregate items (0 if none).
+func (r *Result) MaxRelHalfWidth() float64 {
+	var m float64
+	for _, row := range r.Items {
+		for _, it := range row {
+			if it.IsAggregate && it.HasCI {
+				m = math.Max(m, it.RelHalfWidth)
+			}
+		}
+	}
+	return m
+}
+
+// Engine executes parsed statements under an error spec.
+type Engine interface {
+	// Name returns the engine's technique tag.
+	Name() Technique
+	// Execute runs the statement. Engines that cannot honor the request
+	// fall back gracefully (and say so in Diagnostics) rather than fail,
+	// unless the query itself is invalid.
+	Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error)
+}
+
+// supportedForSampling reports whether every aggregate in the statement is
+// sample-approximable: linear (SUM/COUNT/AVG without DISTINCT, via the
+// CLT) or PERCENTILE (via the DKW distribution bound). Queries outside
+// this class must run exactly: the generality limit of sampling-based AQP.
+func supportedForSampling(stmt *sqlparse.SelectStmt) (bool, string) {
+	for _, a := range stmt.Aggregates() {
+		if !a.Func.SampleApproximable() {
+			return false, fmt.Sprintf("aggregate %s is not sample-approximable", a)
+		}
+		if a.Distinct {
+			return false, fmt.Sprintf("aggregate %s uses DISTINCT", a)
+		}
+	}
+	if !stmt.HasAggregates() {
+		return false, "query has no aggregates"
+	}
+	return true, ""
+}
+
+// confidencePerEstimate allocates the joint confidence across estimates
+// via Boole's inequality: k aggregate slots times g groups.
+func confidencePerEstimate(spec ErrorSpec, slots, groups int) float64 {
+	k := slots * maxInt(groups, 1)
+	return stats.AllocateConfidence(spec.Confidence, k)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// ExactEngine executes queries exactly; it is the reference every
+// approximate engine is measured against.
+type ExactEngine struct {
+	Catalog *storage.Catalog
+}
+
+// NewExactEngine builds an exact engine over the catalog.
+func NewExactEngine(cat *storage.Catalog) *ExactEngine {
+	return &ExactEngine{Catalog: cat}
+}
+
+// Name implements Engine.
+func (e *ExactEngine) Name() Technique { return TechniqueExact }
+
+// Execute implements Engine. Any TABLESAMPLE clauses in the statement are
+// stripped: exact means exact.
+func (e *ExactEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+	start := time.Now()
+	p, err := plan.Build(stmt, e.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	plan.ClearSamplers(p)
+	res, err := exec.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	out := annotate(stmt, res, spec, TechniqueExact, GuaranteeExact)
+	out.Diagnostics.Latency = time.Since(start)
+	out.Diagnostics.SampleFraction = 1
+	return out, nil
+}
+
+// ExecuteAsWritten runs a statement honoring its TABLESAMPLE clauses
+// verbatim: the manual path for users who place samplers themselves. The
+// result carries a-posteriori intervals when any sampler was present.
+func ExecuteAsWritten(cat *storage.Catalog, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+	start := time.Now()
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	sampled := false
+	for _, s := range plan.Scans(p) {
+		if s.Sample != nil {
+			sampled = true
+		}
+	}
+	res, err := exec.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	tech, g := TechniqueExact, GuaranteeExact
+	if sampled {
+		tech, g = TechniqueOnline, GuaranteeAPosteriori
+	}
+	out := annotate(stmt, res, spec, tech, g)
+	out.Diagnostics.Latency = time.Since(start)
+	if sampled {
+		out.Diagnostics.SampleFraction = sampleFraction(res.Counters, sampledRows(p))
+	} else {
+		out.Diagnostics.SampleFraction = 1
+	}
+	return out, nil
+}

@@ -1,0 +1,643 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// OLAConfig tunes the online-aggregation engine.
+type OLAConfig struct {
+	// ChunkRows is the number of rows processed between checkpoints.
+	ChunkRows int
+	// MaxFraction caps the fraction of the table read (1 = run to
+	// completion if never stopped).
+	MaxFraction float64
+	// StopWhenSpecMet stops at the first checkpoint whose CIs satisfy
+	// the spec. NOTE: stopping on an interim CI is the "peeking" problem
+	// — the stopped-at interval no longer has its nominal coverage. The
+	// engine does it when asked (it is what OLA users do) and downgrades
+	// the guarantee accordingly.
+	StopWhenSpecMet bool
+	// MaxBuildRows caps the size of joined dimension tables: join queries
+	// are supported by fully materializing every non-fact table into a
+	// hash table (the simplified ripple-join scheme, statistically a
+	// cluster sample keyed by fact row) as long as each fits this bound.
+	MaxBuildRows int
+	// Seed drives the row permutation.
+	Seed int64
+}
+
+// DefaultOLAConfig processes 4096-row chunks up to the full table and
+// joins dimensions up to one million rows.
+func DefaultOLAConfig() OLAConfig {
+	return OLAConfig{ChunkRows: 4096, MaxFraction: 1, StopWhenSpecMet: true,
+		MaxBuildRows: 1 << 20, Seed: 3}
+}
+
+// Progress is one OLA checkpoint delivered to the observer callback.
+type Progress struct {
+	// RowsRead is the number of permuted rows consumed so far.
+	RowsRead int
+	// Fraction is RowsRead / table size.
+	Fraction float64
+	// Result is the current annotated estimate.
+	Result *Result
+}
+
+// OLAEngine implements online aggregation: rows stream in random order
+// and estimates with shrinking confidence intervals are emitted at every
+// checkpoint. It supports single-table aggregation queries whose select
+// items are bare group columns or bare linear aggregates; anything else
+// falls back to exact execution.
+type OLAEngine struct {
+	Catalog *storage.Catalog
+	Config  OLAConfig
+}
+
+// NewOLAEngine builds an OLA engine.
+func NewOLAEngine(cat *storage.Catalog, cfg OLAConfig) *OLAEngine {
+	if cfg.ChunkRows <= 0 {
+		cfg.ChunkRows = 4096
+	}
+	if cfg.MaxFraction <= 0 || cfg.MaxFraction > 1 {
+		cfg.MaxFraction = 1
+	}
+	return &OLAEngine{Catalog: cat, Config: cfg}
+}
+
+// Name implements Engine.
+func (e *OLAEngine) Name() Technique { return TechniqueOLA }
+
+// Execute implements Engine by running ExecuteProgressive without an
+// observer.
+func (e *OLAEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+	return e.ExecuteProgressive(stmt, spec, nil)
+}
+
+// olaAgg is a per-group, per-slot accumulator over the rows read so far.
+// For SUM/COUNT estimation it treats the contribution z_i (the aggregate
+// argument for rows in the group, 0 otherwise) as a simple random sample
+// without replacement of size k from N rows:
+//
+//	Ŝ = N·z̄,  Var(Ŝ) = N²·(1-k/N)·s_z²/k.
+type olaAgg struct {
+	sum   float64 // Σ z over group rows
+	sumsq float64 // Σ z² over group rows
+	n     float64 // rows in group
+}
+
+type olaGroup struct {
+	key  string
+	vals []storage.Value
+	aggs []olaAgg
+}
+
+// ExecuteProgressive runs the query with checkpoints; observe (if
+// non-nil) is called at each checkpoint and may return false to stop.
+func (e *OLAEngine) ExecuteProgressive(stmt *sqlparse.SelectStmt, spec ErrorSpec,
+	observe func(Progress) bool) (*Result, error) {
+	start := time.Now()
+	if !spec.Valid() {
+		spec = DefaultErrorSpec
+	}
+	ok, reason := e.supported(stmt)
+	if !ok {
+		res, err := NewExactEngine(e.Catalog).Execute(stmt, spec)
+		if err != nil {
+			return nil, err
+		}
+		res.Diagnostics.FellBackToExact = true
+		res.Diagnostics.Messages = append(res.Diagnostics.Messages, "ola: fell back to exact: "+reason)
+		return res, nil
+	}
+	t, err := e.Catalog.Table(stmt.From.Name)
+	if err != nil {
+		return nil, err
+	}
+	n := t.NumRows()
+
+	// Joined dimensions are fully built into hash tables; the fact table
+	// is the sampling unit (simplified ripple join). The combined schema
+	// is the fact schema followed by each dimension's schema.
+	combined := t.Schema().Clone()
+	joins := make([]*olaJoin, 0, len(stmt.Joins))
+	for _, jc := range stmt.Joins {
+		j, err := e.buildOLAJoin(jc, combined)
+		if err != nil {
+			return nil, err
+		}
+		joins = append(joins, j)
+		combined = append(combined, j.dimSchema...)
+	}
+
+	// Bind expressions against the combined schema.
+	var where expr.Expr
+	if stmt.Where != nil {
+		where = expr.Clone(stmt.Where)
+		if err := expr.Bind(where, combined); err != nil {
+			return nil, err
+		}
+	}
+	groupExprs := make([]expr.Expr, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		groupExprs[i] = expr.Clone(g)
+		if err := expr.Bind(groupExprs[i], combined); err != nil {
+			return nil, err
+		}
+	}
+	aggs := stmt.Aggregates()
+	argExprs := make([]expr.Expr, len(aggs))
+	for i, a := range aggs {
+		if a.Arg != nil {
+			argExprs[i] = expr.Clone(a.Arg)
+			if err := expr.Bind(argExprs[i], combined); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Random permutation of row indices.
+	rng := rand.New(rand.NewSource(e.Config.Seed))
+	perm := rng.Perm(n)
+	limit := int(math.Ceil(e.Config.MaxFraction * float64(n)))
+	if limit > n {
+		limit = n
+	}
+
+	groups := make(map[string]*olaGroup)
+	keyBuf := make([]storage.Value, len(groupExprs))
+	read := 0
+	stoppedEarly := false
+
+	// Per-fact-row totals: the fact row is the sampling unit, so for
+	// SUM/COUNT variance the contributions of all its joined rows must be
+	// summed before entering the accumulators.
+	type rowTotals struct {
+		vals  []storage.Value
+		total []float64 // per slot: summed SUM/COUNT contribution
+		seen  []bool    // per slot: contributed at all
+	}
+	factTotals := make(map[string]*rowTotals)
+
+	processCombined := func(row expr.Row) error {
+		if where != nil {
+			keep, err := expr.EvalBool(where, row)
+			if err != nil || !keep {
+				return err
+			}
+		}
+		for k2, ge := range groupExprs {
+			v, err := ge.Eval(row)
+			if err != nil {
+				return err
+			}
+			keyBuf[k2] = v
+		}
+		key := sampleKey(keyBuf)
+		g, ok := groups[key]
+		if !ok {
+			g = &olaGroup{key: key, vals: append([]storage.Value(nil), keyBuf...),
+				aggs: make([]olaAgg, len(aggs))}
+			groups[key] = g
+		}
+		rt, ok := factTotals[key]
+		if !ok {
+			rt = &rowTotals{total: make([]float64, len(aggs)), seen: make([]bool, len(aggs))}
+			factTotals[key] = rt
+		}
+		for ai, a := range aggs {
+			var z float64
+			switch a.Func {
+			case sqlparse.AggCount:
+				z = 1
+				if !a.Star && argExprs[ai] != nil {
+					v, err := argExprs[ai].Eval(row)
+					if err != nil {
+						return err
+					}
+					if v.IsNull() {
+						continue
+					}
+				}
+				rt.total[ai] += z
+				rt.seen[ai] = true
+			case sqlparse.AggSum:
+				v, err := argExprs[ai].Eval(row)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					continue
+				}
+				rt.total[ai] += v.AsFloat()
+				rt.seen[ai] = true
+			default: // AVG: the joined row is the value unit
+				v, err := argExprs[ai].Eval(row)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					continue
+				}
+				z = v.AsFloat()
+				g.aggs[ai].sum += z
+				g.aggs[ai].sumsq += z * z
+				g.aggs[ai].n++
+			}
+		}
+		return nil
+	}
+
+	flushFactRow := func() {
+		for key, rt := range factTotals {
+			g := groups[key]
+			for ai := range aggs {
+				if !rt.seen[ai] {
+					continue
+				}
+				z := rt.total[ai]
+				g.aggs[ai].sum += z
+				g.aggs[ai].sumsq += z * z
+				g.aggs[ai].n++
+			}
+			delete(factTotals, key)
+		}
+	}
+
+	var final *Result
+	for read < limit {
+		chunkEnd := read + e.Config.ChunkRows
+		if chunkEnd > limit {
+			chunkEnd = limit
+		}
+		for ; read < chunkEnd; read++ {
+			ri := perm[read]
+			if len(joins) == 0 {
+				if err := processCombined(tableRowAdapter{t: t, idx: ri}); err != nil {
+					return nil, err
+				}
+				flushFactRow()
+				continue
+			}
+			// Expand the fact row through the dimension hash tables.
+			rows := [][]storage.Value{t.Row(ri)}
+			for _, j := range joins {
+				var next [][]storage.Value
+				for _, r := range rows {
+					matches, err := j.probe(r)
+					if err != nil {
+						return nil, err
+					}
+					next = append(next, matches...)
+				}
+				rows = next
+				if len(rows) == 0 {
+					break
+				}
+			}
+			for _, r := range rows {
+				if err := processCombined(expr.ValuesRow(r)); err != nil {
+					return nil, err
+				}
+			}
+			flushFactRow()
+		}
+		final = e.checkpoint(stmt, aggs, groups, read, n, spec)
+		p := Progress{RowsRead: read, Fraction: float64(read) / float64(n), Result: final}
+		if observe != nil && !observe(p) {
+			stoppedEarly = true
+			break
+		}
+		if e.Config.StopWhenSpecMet && final.Diagnostics.SpecSatisfied && read < limit {
+			stoppedEarly = true
+			break
+		}
+	}
+	if final == nil {
+		final = e.checkpoint(stmt, aggs, groups, maxInt(read, 1), n, spec)
+	}
+	final.Diagnostics.Latency = time.Since(start)
+	final.Diagnostics.SampleFraction = float64(read) / math.Max(float64(n), 1)
+	final.Diagnostics.Counters.RowsScanned = int64(read)
+	final.Diagnostics.Counters.RowsEmitted = int64(read)
+	final.Diagnostics.Counters.Passes = 1
+	if stoppedEarly {
+		final.Guarantee = GuaranteeNone
+		final.Diagnostics.Messages = append(final.Diagnostics.Messages,
+			"ola: stopped on an interim CI; the stopped-at interval does not retain its nominal coverage (peeking)")
+	}
+	return final, nil
+}
+
+// checkpoint materializes the current estimates into an annotated Result.
+func (e *OLAEngine) checkpoint(stmt *sqlparse.SelectStmt, aggs []*sqlparse.AggExpr,
+	groups map[string]*olaGroup, k, n int, spec ErrorSpec) *Result {
+
+	keys := make([]string, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	conf := confidencePerEstimate(spec, len(aggs), len(groups))
+	out := &Result{Technique: TechniqueOLA, Guarantee: GuaranteeAPosteriori, Spec: spec}
+	for j, it := range stmt.Items {
+		out.Columns = append(out.Columns, it.Name(j))
+	}
+	fpc := 1 - float64(k)/math.Max(float64(n), 1)
+	if fpc < 0 {
+		fpc = 0
+	}
+	specOK := len(groups) > 0
+	for _, key := range keys {
+		g := groups[key]
+		row := make([]storage.Value, len(stmt.Items))
+		items := make([]ItemResult, len(stmt.Items))
+		for j, it := range stmt.Items {
+			name := it.Name(j)
+			switch node := it.Expr.(type) {
+			case *sqlparse.AggExpr:
+				a := g.aggs[node.Slot]
+				est, variance := olaEstimate(node.Func, a, k, n, fpc)
+				val := storage.Float64(est)
+				if node.Func == sqlparse.AggCount {
+					val = storage.Int64(int64(est + 0.5))
+				}
+				row[j] = val
+				iv := stats.CLTInterval(est, variance, math.Max(a.n, 2), conf)
+				rel := iv.RelHalfWidth(est)
+				items[j] = ItemResult{Name: name, Value: val, IsAggregate: true,
+					HasCI: true, CI: iv, RelHalfWidth: rel}
+				if rel > spec.RelError {
+					specOK = false
+				}
+			case *expr.ColRef:
+				// Bare group column: position matches GroupBy order.
+				idx := groupColumnIndex(stmt, node.Name)
+				var v storage.Value
+				if idx >= 0 && idx < len(g.vals) {
+					v = g.vals[idx]
+				}
+				row[j] = v
+				items[j] = ItemResult{Name: name, Value: v}
+			default:
+				row[j] = storage.Value{}
+				items[j] = ItemResult{Name: name}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+		out.Items = append(out.Items, items)
+	}
+	out.Diagnostics.SpecSatisfied = specOK
+	return out
+}
+
+// olaEstimate scales group accumulators to population estimates under
+// simple random sampling of k of n rows.
+func olaEstimate(fn sqlparse.AggFunc, a olaAgg, k, n int, fpc float64) (est, variance float64) {
+	kk := float64(k)
+	nn := float64(n)
+	switch fn {
+	case sqlparse.AggAvg:
+		if a.n == 0 {
+			return 0, 0
+		}
+		mean := a.sum / a.n
+		if a.n < 2 {
+			return mean, mean * mean
+		}
+		s2 := (a.sumsq - a.sum*a.sum/a.n) / (a.n - 1)
+		return mean, s2 / a.n * fpc
+	default: // SUM and COUNT share the z-scaling form
+		zbar := a.sum / kk
+		est = nn * zbar
+		// s_z² over all k rows (zeros included for out-of-group rows).
+		sz2 := (a.sumsq - kk*zbar*zbar) / math.Max(kk-1, 1)
+		variance = nn * nn * fpc * sz2 / kk
+		return est, variance
+	}
+}
+
+func groupColumnIndex(stmt *sqlparse.SelectStmt, col string) int {
+	for i, g := range stmt.GroupBy {
+		if c, ok := g.(*expr.ColRef); ok && c.Name == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// olaJoin is one fully-built dimension of an OLA join: the fact table
+// streams, each fact row probes the dimension hash table.
+type olaJoin struct {
+	dimSchema storage.Schema
+	leftKeys  []expr.Expr // bound to the combined schema left of this dim
+	ht        map[string][][]storage.Value
+	residual  expr.Expr // bound to the combined schema including this dim
+}
+
+// buildOLAJoin materializes a dimension hash table for one join clause.
+func (e *OLAEngine) buildOLAJoin(jc sqlparse.JoinClause, leftSchema storage.Schema) (*olaJoin, error) {
+	dim, err := e.Catalog.Table(jc.Table.Name)
+	if err != nil {
+		return nil, err
+	}
+	if dim.NumRows() > e.Config.MaxBuildRows {
+		return nil, fmt.Errorf("core: OLA join table %s has %d rows, above MaxBuildRows %d",
+			jc.Table.Name, dim.NumRows(), e.Config.MaxBuildRows)
+	}
+	dimSchema := dim.Schema()
+	j := &olaJoin{dimSchema: dimSchema.Clone(), ht: make(map[string][][]storage.Value)}
+
+	var rightKeys []expr.Expr
+	var rest []expr.Expr
+	for _, c := range splitAndExpr(expr.Clone(jc.On)) {
+		if eq, ok := c.(*expr.Binary); ok && eq.Op == expr.OpEq {
+			lc, rc := expr.Columns(eq.L), expr.Columns(eq.R)
+			switch {
+			case coveredBySchema(lc, leftSchema) && coveredBySchema(rc, dimSchema):
+				if err := expr.Bind(eq.L, leftSchema); err != nil {
+					return nil, err
+				}
+				if err := expr.Bind(eq.R, dimSchema); err != nil {
+					return nil, err
+				}
+				j.leftKeys = append(j.leftKeys, eq.L)
+				rightKeys = append(rightKeys, eq.R)
+				continue
+			case coveredBySchema(rc, leftSchema) && coveredBySchema(lc, dimSchema):
+				if err := expr.Bind(eq.R, leftSchema); err != nil {
+					return nil, err
+				}
+				if err := expr.Bind(eq.L, dimSchema); err != nil {
+					return nil, err
+				}
+				j.leftKeys = append(j.leftKeys, eq.R)
+				rightKeys = append(rightKeys, eq.L)
+				continue
+			}
+		}
+		rest = append(rest, c)
+	}
+	if len(j.leftKeys) == 0 {
+		return nil, fmt.Errorf("core: OLA join with %s needs an equi-key", jc.Table.Name)
+	}
+	if len(rest) > 0 {
+		combined := append(leftSchema.Clone(), dimSchema...)
+		j.residual = combineAndExpr(rest)
+		if err := expr.Bind(j.residual, combined); err != nil {
+			return nil, err
+		}
+	}
+
+	keyVals := make([]storage.Value, len(rightKeys))
+	for i := 0; i < dim.NumRows(); i++ {
+		row := dim.Row(i)
+		r := expr.ValuesRow(row)
+		null := false
+		for k, ke := range rightKeys {
+			v, err := ke.Eval(r)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			keyVals[k] = v
+		}
+		if null {
+			continue
+		}
+		key := sampleKey(keyVals)
+		j.ht[key] = append(j.ht[key], row)
+	}
+	return j, nil
+}
+
+// probe expands one partial combined row through this dimension.
+func (j *olaJoin) probe(left []storage.Value) ([][]storage.Value, error) {
+	r := expr.ValuesRow(left)
+	keyVals := make([]storage.Value, len(j.leftKeys))
+	for k, ke := range j.leftKeys {
+		v, err := ke.Eval(r)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			return nil, nil
+		}
+		keyVals[k] = v
+	}
+	matches := j.ht[sampleKey(keyVals)]
+	if len(matches) == 0 {
+		return nil, nil
+	}
+	out := make([][]storage.Value, 0, len(matches))
+	for _, m := range matches {
+		combined := make([]storage.Value, 0, len(left)+len(m))
+		combined = append(combined, left...)
+		combined = append(combined, m...)
+		if j.residual != nil {
+			ok, err := expr.EvalBool(j.residual, expr.ValuesRow(combined))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, combined)
+	}
+	return out, nil
+}
+
+func splitAndExpr(e expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.Binary); ok && b.Op == expr.OpAnd {
+		return append(splitAndExpr(b.L), splitAndExpr(b.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+func combineAndExpr(list []expr.Expr) expr.Expr {
+	out := list[0]
+	for _, e := range list[1:] {
+		out = &expr.Binary{Op: expr.OpAnd, L: out, R: e}
+	}
+	return out
+}
+
+func coveredBySchema(cols []string, schema storage.Schema) bool {
+	for _, c := range cols {
+		if schema.ColumnIndex(c) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// supported checks the OLA engine's query class.
+func (e *OLAEngine) supported(stmt *sqlparse.SelectStmt) (bool, string) {
+	for _, jc := range stmt.Joins {
+		dim, err := e.Catalog.Table(jc.Table.Name)
+		if err != nil {
+			return false, err.Error()
+		}
+		if dim.NumRows() > e.Config.MaxBuildRows {
+			return false, fmt.Sprintf("join table %s too large to build (%d rows)",
+				jc.Table.Name, dim.NumRows())
+		}
+	}
+	if ok, reason := supportedForSampling(stmt); !ok {
+		return false, reason
+	}
+	for _, a := range stmt.Aggregates() {
+		if !a.Func.Linear() {
+			return false, fmt.Sprintf("aggregate %s is not incrementally estimable by OLA", a)
+		}
+	}
+	if stmt.Having != nil || len(stmt.OrderBy) > 0 || stmt.Limit >= 0 {
+		return false, "HAVING/ORDER BY/LIMIT not supported by OLA"
+	}
+	for _, it := range stmt.Items {
+		switch n := it.Expr.(type) {
+		case *sqlparse.AggExpr:
+		case *expr.ColRef:
+			if groupColumnIndex(stmt, n.Name) < 0 {
+				return false, fmt.Sprintf("select item %s is not a group column", n.Name)
+			}
+		default:
+			return false, "OLA supports only bare aggregates and group columns as select items"
+		}
+	}
+	return true, ""
+}
+
+// tableRowAdapter adapts a storage table row to expr.Row.
+type tableRowAdapter struct {
+	t   *storage.Table
+	idx int
+}
+
+// ColumnValue implements expr.Row.
+func (r tableRowAdapter) ColumnValue(i int) storage.Value { return r.t.Column(i).Value(r.idx) }
+
+// sampleKey is groupKeyOf for core (avoids an exec dependency cycle).
+func sampleKey(vals []storage.Value) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	key := vals[0].GroupKey()
+	for _, v := range vals[1:] {
+		key += "\x1f" + v.GroupKey()
+	}
+	return key
+}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Sampling at rate 100% must be *exactly* equivalent to not sampling, for
+// every sampler kind and every query shape: all rows keep, all weights 1,
+// so the full pipeline (weights, details, HT estimators) degenerates to
+// exact execution. This is the strongest end-to-end invariant the
+// weighted executor has.
+func TestFullRateSamplingEquivalence(t *testing.T) {
+	star, err := workload.GenerateStar(workload.Config{Seed: 13, LineitemRows: 5000, BlockSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT COUNT(*), SUM(l_quantity), AVG(l_extendedprice) FROM lineitem%s",
+		"SELECT l_returnflag, COUNT(*) AS n, SUM(l_extendedprice) AS s FROM lineitem%s GROUP BY l_returnflag ORDER BY l_returnflag",
+		"SELECT SUM(l_extendedprice) FROM lineitem%s WHERE l_quantity < 25 AND l_discount > 0.01",
+		"SELECT o_orderpriority, COUNT(*) FROM lineitem%s JOIN orders ON l_orderkey = o_orderkey GROUP BY o_orderpriority ORDER BY o_orderpriority",
+		"SELECT l_shipmode, AVG(l_quantity) FROM lineitem%s GROUP BY l_shipmode HAVING COUNT(*) > 10 ORDER BY l_shipmode",
+	}
+	samplers := []string{
+		" TABLESAMPLE BERNOULLI (100)",
+		" TABLESAMPLE SYSTEM (100)",
+		" TABLESAMPLE UNIVERSE (100) ON (l_orderkey)",
+		" TABLESAMPLE DISTINCT (100, 5) ON (l_returnflag)",
+		" TABLESAMPLE BILEVEL (100, 100)",
+	}
+	for _, q := range queries {
+		want := runSQL(t, star.Catalog, fmt.Sprintf(q, ""))
+		for _, s := range samplers {
+			got := runSQL(t, star.Catalog, fmt.Sprintf(q, s))
+			if got.NumRows() != want.NumRows() {
+				t.Fatalf("%s with %s: %d rows vs %d", q, s, got.NumRows(), want.NumRows())
+			}
+			for i := range want.Rows {
+				for j := range want.Rows[i] {
+					a, b := got.Rows[i][j], want.Rows[i][j]
+					if a.AsFloat() != b.AsFloat() && a.String() != b.String() {
+						t.Errorf("%s with %s: row %d col %d = %v, want %v", q, s, i, j, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A sampled aggregate plus its CI must bracket the exact value most of the
+// time across seeds — the executor-level version of the coverage claim.
+func TestSampledCIBracketsExact(t *testing.T) {
+	star, err := workload.GenerateStar(workload.Config{Seed: 17, LineitemRows: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := runSQL(t, star.Catalog, "SELECT SUM(l_quantity) FROM lineitem")
+	truth := exact.Rows[0][0].AsFloat()
+	res := runSQL(t, star.Catalog, "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE BERNOULLI (10)")
+	d := res.Details[0].Aggs[0]
+	if !d.Weighted {
+		t.Fatal("should be weighted")
+	}
+	est := d.Estimate
+	sd := d.Variance
+	// est ± 4·sqrt(var) must bracket the truth for this well-behaved case.
+	lo, hi := est-4*sqrt(sd), est+4*sqrt(sd)
+	if truth < lo || truth > hi {
+		t.Errorf("truth %v outside [%v, %v]", truth, lo, hi)
+	}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

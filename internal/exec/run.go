@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// BuildOperator compiles a logical plan into a physical operator tree.
+// All scans share the provided counters.
+func BuildOperator(n plan.Node, counters *Counters) (Operator, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return newScanOp(t, counters)
+	case *plan.Filter:
+		child, err := BuildOperator(t.Child, counters)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{child: child, pred: t.Pred}, nil
+	case *plan.Project:
+		child, err := BuildOperator(t.Child, counters)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{child: child, node: t, schema: t.Schema()}, nil
+	case *plan.Join:
+		left, err := BuildOperator(t.Left, counters)
+		if err != nil {
+			return nil, err
+		}
+		right, err := BuildOperator(t.Right, counters)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinOp{node: t, left: left, right: right, schema: t.Schema()}, nil
+	case *plan.Aggregate:
+		child, err := BuildOperator(t.Child, counters)
+		if err != nil {
+			return nil, err
+		}
+		return &hashAggOp{node: t, child: child}, nil
+	case *plan.Sort:
+		child, err := BuildOperator(t.Child, counters)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{node: t, child: child}, nil
+	case *plan.Limit:
+		child, err := BuildOperator(t.Child, counters)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{child: child, n: t.N}, nil
+	}
+	return nil, fmt.Errorf("exec: unknown plan node %T", n)
+}
+
+// Run executes a logical plan to completion, materializing the result.
+func Run(root plan.Node) (*Result, error) {
+	var counters Counters
+	op, err := BuildOperator(root, &counters)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	res := &Result{Schema: root.Schema()}
+	for {
+		b, err := op.Next()
+		if err != nil {
+			_ = op.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for i, row := range b.Rows {
+			res.Rows = append(res.Rows, row)
+			if b.Weights != nil {
+				if res.Weights == nil {
+					res.Weights = make([]float64, len(res.Rows)-1)
+					for j := range res.Weights {
+						res.Weights[j] = 1
+					}
+				}
+				res.Weights = append(res.Weights, b.Weights[i])
+			} else if res.Weights != nil {
+				res.Weights = append(res.Weights, 1)
+			}
+			if b.Details != nil {
+				if res.Details == nil {
+					res.Details = make([]*GroupDetail, len(res.Rows)-1)
+				}
+				res.Details = append(res.Details, b.Details[i])
+			} else if res.Details != nil {
+				res.Details = append(res.Details, nil)
+			}
+		}
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	res.Counters = counters
+	return res, nil
+}

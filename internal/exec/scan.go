@@ -1,0 +1,200 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/sample"
+	"repro/internal/storage"
+)
+
+// scanOp reads a base table block by block, applying (in order) the block
+// sampler decision, the pushed-down filter, and then the row-level sampler
+// decision. Filter-before-sampler matters for the stateful distinct
+// sampler: its per-stratum pass-through must count only qualifying rows so
+// small *output* groups survive; for the stateless samplers the two orders
+// are distributionally identical (the sampling-equivalence rule).
+type scanOp struct {
+	scan     *plan.Scan
+	counters *Counters
+
+	outIdx    []int // table column index per output column
+	weightIdx int   // hidden weight column in table, or -1
+	keyIdx    []int // sampler key columns in table
+	sampler   sample.RowSampler
+	blockSamp *sample.Block
+
+	table  *storage.Table
+	nRows  int
+	row    int
+	block  int
+	keyBuf []storage.Value
+}
+
+func newScanOp(s *plan.Scan, counters *Counters) (*scanOp, error) {
+	op := &scanOp{scan: s, counters: counters, table: s.Table, weightIdx: -1}
+	tschema := s.Table.Schema()
+	for _, def := range s.Schema() {
+		idx := tschema.ColumnIndex(def.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("exec: scan %s: lost column %s", s.TableName, def.Name)
+		}
+		op.outIdx = append(op.outIdx, idx)
+	}
+	op.weightIdx = s.WeightColumnIndex()
+	if s.Sample != nil {
+		rs, err := sample.New(*s.Sample, s.Table.BlockSize())
+		if err != nil {
+			return nil, err
+		}
+		switch st := rs.(type) {
+		case *sample.Block:
+			op.blockSamp = st
+		case *sample.BiLevel:
+			// Split the stages so non-sampled blocks are skipped at the
+			// block level and kept blocks are thinned row by row.
+			op.blockSamp = st.BlockSampler()
+			op.sampler = biLevelRowStage{st}
+		default:
+			op.sampler = rs
+		}
+		for _, col := range s.Sample.KeyColumns {
+			idx := tschema.ColumnIndex(col)
+			if idx < 0 {
+				return nil, fmt.Errorf("exec: sampler key column %q not in table %s", col, s.TableName)
+			}
+			op.keyIdx = append(op.keyIdx, idx)
+		}
+		op.keyBuf = make([]storage.Value, len(op.keyIdx))
+	}
+	return op, nil
+}
+
+// Schema implements Operator.
+func (op *scanOp) Schema() storage.Schema { return op.scan.Schema() }
+
+// Open implements Operator.
+func (op *scanOp) Open() error {
+	op.nRows = op.table.NumRows()
+	op.row = 0
+	op.block = 0
+	op.counters.Passes++
+	return nil
+}
+
+// biLevelRowStage adapts the within-block stage of a bi-level sampler to
+// the RowSampler interface used in the scan's per-row loop; the block
+// stage runs separately so whole blocks can be skipped.
+type biLevelRowStage struct {
+	bl *sample.BiLevel
+}
+
+// Decide implements sample.RowSampler.
+func (b biLevelRowStage) Decide(rowIdx int, _ string) sample.RowDecision {
+	return b.bl.DecideRow(rowIdx)
+}
+
+// Rate implements sample.RowSampler.
+func (b biLevelRowStage) Rate() float64 { return b.bl.Rate() }
+
+// tableRow adapts direct table access to expr.Row for filter evaluation
+// bound against the full table schema.
+type tableRow struct {
+	t   *storage.Table
+	idx int
+}
+
+// ColumnValue implements expr.Row.
+func (r tableRow) ColumnValue(i int) storage.Value { return r.t.Column(i).Value(r.idx) }
+
+// Next implements Operator.
+func (op *scanOp) Next() (*Batch, error) {
+	if op.row >= op.nRows {
+		return nil, nil
+	}
+	batch := &Batch{}
+	blockSize := op.table.BlockSize()
+	for batch.Len() < BatchSize && op.row < op.nRows {
+		blockEnd := (op.block + 1) * blockSize
+		if blockEnd > op.nRows {
+			blockEnd = op.nRows
+		}
+		blockWeight := 1.0
+		if op.blockSamp != nil {
+			d := op.blockSamp.DecideBlock(op.block)
+			if !d.Keep {
+				op.counters.BlocksSkipped++
+				op.row = blockEnd
+				op.block++
+				continue
+			}
+			if op.row == op.block*blockSize {
+				// Count each kept block once, on first entry.
+				op.counters.BlocksScanned++
+			}
+			blockWeight = d.Weight
+		}
+		for ; op.row < blockEnd && batch.Len() < BatchSize; op.row++ {
+			op.counters.RowsScanned++
+			tr := tableRow{t: op.table, idx: op.row}
+			if op.scan.Filter != nil {
+				ok, err := expr.EvalBool(op.scan.Filter, tr)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			w := blockWeight
+			if op.sampler != nil {
+				key := ""
+				if len(op.keyIdx) > 0 {
+					for i, idx := range op.keyIdx {
+						op.keyBuf[i] = op.table.Column(idx).Value(op.row)
+					}
+					key = sample.KeyOf(op.keyBuf)
+				}
+				d := op.sampler.Decide(op.row, key)
+				if !d.Keep {
+					continue
+				}
+				w *= d.Weight
+			}
+			if op.weightIdx >= 0 {
+				wv := op.table.Column(op.weightIdx).Value(op.row)
+				if !wv.IsNull() {
+					w *= wv.AsFloat()
+				}
+			}
+			out := make([]storage.Value, len(op.outIdx))
+			for i, idx := range op.outIdx {
+				out[i] = op.table.Column(idx).Value(op.row)
+			}
+			batch.Rows = append(batch.Rows, out)
+			if w != 1 || batch.Weights != nil {
+				if batch.Weights == nil {
+					batch.Weights = make([]float64, batch.Len()-1)
+					for i := range batch.Weights {
+						batch.Weights[i] = 1
+					}
+				}
+				batch.Weights = append(batch.Weights, w)
+			}
+			op.counters.RowsEmitted++
+		}
+		if op.row >= blockEnd {
+			op.block++
+		}
+	}
+	if batch.Len() == 0 {
+		// The loop exits with an empty batch only when the table is
+		// exhausted.
+		return nil, nil
+	}
+	return batch, nil
+}
+
+// Close implements Operator.
+func (op *scanOp) Close() error { return nil }

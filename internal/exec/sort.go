@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// sortBatch orders the batch in place by the sort keys.
+func sortBatch(b *Batch, keys []plan.SortKey) error {
+	type rowKey struct {
+		idx  int
+		vals []storage.Value
+	}
+	rks := make([]rowKey, b.Len())
+	for i, row := range b.Rows {
+		vals := make([]storage.Value, len(keys))
+		r := expr.ValuesRow(row)
+		for k, sk := range keys {
+			v, err := sk.Expr.Eval(r)
+			if err != nil {
+				return err
+			}
+			vals[k] = v
+		}
+		rks[i] = rowKey{idx: i, vals: vals}
+	}
+	sort.SliceStable(rks, func(i, j int) bool {
+		for k, sk := range keys {
+			c := rks[i].vals[k].Compare(rks[j].vals[k])
+			if c == 0 {
+				continue
+			}
+			if sk.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	rows := make([][]storage.Value, b.Len())
+	var weights []float64
+	if b.Weights != nil {
+		weights = make([]float64, b.Len())
+	}
+	var details []*GroupDetail
+	if b.Details != nil {
+		details = make([]*GroupDetail, b.Len())
+	}
+	for i, rk := range rks {
+		rows[i] = b.Rows[rk.idx]
+		if weights != nil {
+			weights[i] = b.Weights[rk.idx]
+		}
+		if details != nil {
+			details[i] = b.Details[rk.idx]
+		}
+	}
+	b.Rows = rows
+	if weights != nil {
+		b.Weights = weights
+	}
+	if details != nil {
+		b.Details = details
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+// TestSmokeAll runs every experiment at a tiny scale; shapes are asserted
+// in experiments_test.go, this is the does-it-run gate.
+func TestSmokeAll(t *testing.T) {
+	s := Scale{Rows: 20000, Trials: 3, Seed: 1}
+	for _, id := range IDs() {
+		tab, err := Run(id, s)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+		t.Log("\n" + tab.String())
+	}
+}

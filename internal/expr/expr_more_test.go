@@ -1,0 +1,205 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&ColRef{Name: "x"}, "x"},
+		{&Lit{storage.Int64(5)}, "5"},
+		{&Lit{storage.Str("a'b")}, "'a''b'"},
+		{&Binary{Op: OpAdd, L: &ColRef{Name: "a"}, R: &Lit{storage.Int64(1)}}, "(a + 1)"},
+		{&Binary{Op: OpAnd, L: &Lit{storage.Bool(true)}, R: &Lit{storage.Bool(false)}}, "(true AND false)"},
+		{&Unary{Op: OpNot, X: &ColRef{Name: "f"}}, "(NOT f)"},
+		{&Unary{Op: OpNeg, X: &ColRef{Name: "v"}}, "(- v)"},
+		{&In{X: &ColRef{Name: "k"}, List: []Expr{&Lit{storage.Int64(1)}, &Lit{storage.Int64(2)}}}, "(k IN (1, 2))"},
+		{&In{X: &ColRef{Name: "k"}, List: []Expr{&Lit{storage.Int64(1)}}, Negate: true}, "(k NOT IN (1))"},
+		{&Call{Name: "ABS", Args: []Expr{&ColRef{Name: "x"}}}, "ABS(x)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%T) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := map[Op]string{
+		OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+		OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+		OpAnd: "AND", OpOr: "OR", OpNot: "NOT",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if OpInvalid.String() != "?" {
+		t.Error("invalid op renders ?")
+	}
+}
+
+func TestTypeInferenceMore(t *testing.T) {
+	// Unary types.
+	if (&Unary{Op: OpNot, X: &Lit{storage.Bool(true)}}).Type() != storage.TypeBool {
+		t.Error("NOT is bool")
+	}
+	if (&Unary{Op: OpNeg, X: &Lit{storage.Int64(1)}}).Type() != storage.TypeInt64 {
+		t.Error("neg int is int")
+	}
+	// In is bool.
+	if (&In{X: &Lit{storage.Int64(1)}, List: []Expr{&Lit{storage.Int64(1)}}}).Type() != storage.TypeBool {
+		t.Error("IN is bool")
+	}
+	// Call types.
+	callTypes := map[string]storage.Type{
+		"ABS": storage.TypeInt64, "HASH64": storage.TypeInt64,
+		"LENGTH": storage.TypeInt64, "SQRT": storage.TypeFloat64,
+		"LOWER": storage.TypeString, "LIKE": storage.TypeBool,
+		"ISNULL": storage.TypeBool, "UNKNOWN_FN": storage.TypeFloat64,
+	}
+	for name, want := range callTypes {
+		args := []Expr{&Lit{storage.Int64(1)}}
+		if got := (&Call{Name: name, Args: args}).Type(); got != want {
+			t.Errorf("%s type = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	e := &Binary{Op: OpOr,
+		L: &In{X: &ColRef{Name: "a"}, List: []Expr{&Lit{storage.Int64(1)}}},
+		R: &Unary{Op: OpNot, X: &Call{Name: "ISNULL", Args: []Expr{&ColRef{Name: "b"}}}},
+	}
+	count := 0
+	e.Walk(func(Expr) { count++ })
+	// Binary, In, ColRef a, Lit, Unary, Call, ColRef b = 7 nodes.
+	if count != 7 {
+		t.Errorf("walk visited %d nodes, want 7", count)
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	tru := &Lit{storage.Bool(true)}
+	if ok, err := EvalBool(tru, nil); err != nil || !ok {
+		t.Error("true must be true")
+	}
+	null := &Lit{storage.NullValue(storage.TypeBool)}
+	if ok, err := EvalBool(null, nil); err != nil || ok {
+		t.Error("NULL collapses to false")
+	}
+	num := &Lit{storage.Int64(1)}
+	if ok, err := EvalBool(num, nil); err != nil || ok {
+		t.Error("non-bool is not true")
+	}
+	bad := &Call{Name: "NO_SUCH"}
+	if _, err := EvalBool(bad, nil); err == nil {
+		t.Error("error propagates")
+	}
+}
+
+func TestCloneAllNodeTypes(t *testing.T) {
+	exprs := []Expr{
+		&ColRef{Name: "x", Index: 3},
+		&Lit{storage.Float64(1.5)},
+		&Binary{Op: OpMul, L: &ColRef{Name: "a"}, R: &ColRef{Name: "b"}},
+		&Unary{Op: OpNeg, X: &ColRef{Name: "a"}},
+		&In{X: &ColRef{Name: "a"}, List: []Expr{&Lit{storage.Int64(1)}}, Negate: true},
+		&Call{Name: "POW", Args: []Expr{&Lit{storage.Float64(2)}, &Lit{storage.Float64(3)}}},
+	}
+	for _, e := range exprs {
+		cp := Clone(e)
+		if cp.String() != e.String() {
+			t.Errorf("clone of %T differs: %s vs %s", e, cp, e)
+		}
+		if cp == e {
+			t.Errorf("clone of %T is the same pointer", e)
+		}
+	}
+	// Clone independence: binding the clone must not touch the original.
+	orig := &ColRef{Name: "x", Index: -1}
+	cp := Clone(orig).(*ColRef)
+	cp.Index = 5
+	if orig.Index != -1 {
+		t.Error("clone shares state")
+	}
+}
+
+func TestArithmeticTypeErrors(t *testing.T) {
+	e := &Binary{Op: OpAdd, L: &Lit{storage.Str("a")}, R: &Lit{storage.Int64(1)}}
+	if _, err := e.Eval(nil); err == nil {
+		t.Error("string arithmetic must error")
+	}
+	u := &Unary{Op: OpInvalid, X: &Lit{storage.Int64(1)}}
+	if _, err := u.Eval(nil); err == nil {
+		t.Error("invalid unary op must error")
+	}
+}
+
+func TestFunctionArityErrors(t *testing.T) {
+	for _, c := range []*Call{
+		{Name: "POW", Args: []Expr{&Lit{storage.Float64(2)}}},
+		{Name: "SUBSTR", Args: []Expr{&Lit{storage.Str("x")}}},
+		{Name: "STARTS_WITH", Args: []Expr{&Lit{storage.Str("x")}}},
+		{Name: "LIKE", Args: []Expr{&Lit{storage.Str("x")}}},
+	} {
+		if _, err := c.Eval(nil); err == nil {
+			t.Errorf("%s with wrong arity must error", c.Name)
+		}
+	}
+}
+
+func TestSubstrEdges(t *testing.T) {
+	eval := func(s string, start, n int64) string {
+		c := &Call{Name: "SUBSTR", Args: []Expr{
+			&Lit{storage.Str(s)}, &Lit{storage.Int64(start)}, &Lit{storage.Int64(n)}}}
+		v, err := c.Eval(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.S
+	}
+	if eval("hello", 1, 2) != "he" {
+		t.Error("basic substr")
+	}
+	if eval("hello", 10, 2) != "" {
+		t.Error("start past end")
+	}
+	if eval("hello", -3, 2) != "he" {
+		t.Error("negative start clamps")
+	}
+	if eval("hello", 4, 100) != "lo" {
+		t.Error("length past end clamps")
+	}
+}
+
+func TestNegNull(t *testing.T) {
+	u := &Unary{Op: OpNeg, X: &Lit{storage.NullValue(storage.TypeInt64)}}
+	v, err := u.Eval(nil)
+	if err != nil || !v.IsNull() {
+		t.Error("-NULL is NULL")
+	}
+}
+
+func TestInWithNullProbe(t *testing.T) {
+	in := &In{X: &Lit{storage.NullValue(storage.TypeInt64)},
+		List: []Expr{&Lit{storage.Int64(1)}}}
+	v, err := in.Eval(nil)
+	if err != nil || v.B {
+		t.Error("NULL IN (...) collapses to false")
+	}
+}
+
+func TestCallStringJoins(t *testing.T) {
+	c := &Call{Name: "POW", Args: []Expr{&ColRef{Name: "x"}, &Lit{storage.Int64(2)}}}
+	if !strings.Contains(c.String(), "POW(x, 2)") {
+		t.Errorf("call string = %q", c.String())
+	}
+}

@@ -1,0 +1,292 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func row(vals ...storage.Value) Row { return ValuesRow(vals) }
+
+func mustEval(t *testing.T, e Expr, r Row) storage.Value {
+	t.Helper()
+	v, err := e.Eval(r)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		op   Op
+		l, r storage.Value
+		want storage.Value
+	}{
+		{OpAdd, storage.Int64(2), storage.Int64(3), storage.Int64(5)},
+		{OpSub, storage.Int64(2), storage.Int64(3), storage.Int64(-1)},
+		{OpMul, storage.Int64(4), storage.Int64(3), storage.Int64(12)},
+		{OpDiv, storage.Int64(7), storage.Int64(2), storage.Float64(3.5)},
+		{OpMod, storage.Int64(7), storage.Int64(3), storage.Int64(1)},
+		{OpAdd, storage.Float64(1.5), storage.Int64(1), storage.Float64(2.5)},
+		{OpMul, storage.Float64(2), storage.Float64(2.5), storage.Float64(5)},
+	}
+	for _, c := range cases {
+		e := &Binary{Op: c.op, L: &Lit{c.l}, R: &Lit{c.r}}
+		got := mustEval(t, e, nil)
+		if !got.Equal(c.want) {
+			t.Errorf("%v %v %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	e := &Binary{Op: OpDiv, L: &Lit{storage.Int64(1)}, R: &Lit{storage.Int64(0)}}
+	if v := mustEval(t, e, nil); !v.IsNull() {
+		t.Errorf("1/0 = %v, want NULL", v)
+	}
+	e = &Binary{Op: OpMod, L: &Lit{storage.Int64(1)}, R: &Lit{storage.Int64(0)}}
+	if v := mustEval(t, e, nil); !v.IsNull() {
+		t.Errorf("1%%0 = %v, want NULL", v)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tt := storage.Bool(true)
+	ff := storage.Bool(false)
+	cases := []struct {
+		op   Op
+		l, r storage.Value
+		want storage.Value
+	}{
+		{OpEq, storage.Int64(1), storage.Int64(1), tt},
+		{OpEq, storage.Int64(1), storage.Float64(1), tt},
+		{OpNe, storage.Int64(1), storage.Int64(2), tt},
+		{OpLt, storage.Str("a"), storage.Str("b"), tt},
+		{OpGe, storage.Int64(2), storage.Int64(2), tt},
+		{OpGt, storage.Int64(2), storage.Int64(3), ff},
+		{OpEq, storage.NullValue(storage.TypeInt64), storage.Int64(1), ff},
+	}
+	for _, c := range cases {
+		e := &Binary{Op: c.op, L: &Lit{c.l}, R: &Lit{c.r}}
+		got := mustEval(t, e, nil)
+		if got.B != c.want.B {
+			t.Errorf("%v %v %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestBooleanShortCircuit(t *testing.T) {
+	// The right side would error (unknown function), but AND
+	// short-circuits on false.
+	bad := &Call{Name: "NO_SUCH_FN"}
+	e := &Binary{Op: OpAnd, L: &Lit{storage.Bool(false)}, R: bad}
+	v := mustEval(t, e, nil)
+	if v.B {
+		t.Error("false AND x = true?")
+	}
+	e2 := &Binary{Op: OpOr, L: &Lit{storage.Bool(true)}, R: bad}
+	v = mustEval(t, e2, nil)
+	if !v.B {
+		t.Error("true OR x = false?")
+	}
+}
+
+func TestUnary(t *testing.T) {
+	e := &Unary{Op: OpNeg, X: &Lit{storage.Int64(5)}}
+	if v := mustEval(t, e, nil); v.I != -5 {
+		t.Errorf("-5 = %v", v)
+	}
+	e = &Unary{Op: OpNot, X: &Lit{storage.Bool(true)}}
+	if v := mustEval(t, e, nil); v.B {
+		t.Error("NOT true = true?")
+	}
+	// NOT NULL is true under collapsed two-valued logic.
+	e = &Unary{Op: OpNot, X: &Lit{storage.NullValue(storage.TypeBool)}}
+	if v := mustEval(t, e, nil); !v.B {
+		t.Error("NOT NULL should collapse to true (NULL counts as false)")
+	}
+}
+
+func TestIn(t *testing.T) {
+	in := &In{X: &Lit{storage.Int64(2)}, List: []Expr{
+		&Lit{storage.Int64(1)}, &Lit{storage.Int64(2)}}}
+	if v := mustEval(t, in, nil); !v.B {
+		t.Error("2 IN (1,2) = false?")
+	}
+	in.Negate = true
+	if v := mustEval(t, in, nil); v.B {
+		t.Error("2 NOT IN (1,2) = true?")
+	}
+}
+
+func TestColRefBind(t *testing.T) {
+	schema := storage.Schema{
+		{Name: "a", Type: storage.TypeInt64},
+		{Name: "b", Type: storage.TypeFloat64},
+	}
+	e := &Binary{Op: OpAdd, L: &ColRef{Name: "a"}, R: &ColRef{Name: "b"}}
+	if err := Bind(e, schema); err != nil {
+		t.Fatal(err)
+	}
+	v := mustEval(t, e, row(storage.Int64(1), storage.Float64(2.5)))
+	if v.AsFloat() != 3.5 {
+		t.Errorf("a+b = %v", v)
+	}
+	bad := &ColRef{Name: "zzz"}
+	if err := Bind(bad, schema); err == nil {
+		t.Error("expected bind error for unknown column")
+	}
+}
+
+func TestColumnsCollect(t *testing.T) {
+	e := &Binary{Op: OpAnd,
+		L: &Binary{Op: OpGt, L: &ColRef{Name: "x"}, R: &Lit{storage.Int64(0)}},
+		R: &Binary{Op: OpLt, L: &ColRef{Name: "y"}, R: &ColRef{Name: "x"}},
+	}
+	cols := Columns(e)
+	if len(cols) != 2 || cols[0] != "x" || cols[1] != "y" {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	cases := []struct {
+		name string
+		args []Expr
+		want storage.Value
+	}{
+		{"ABS", []Expr{&Lit{storage.Int64(-4)}}, storage.Int64(4)},
+		{"ABS", []Expr{&Lit{storage.Float64(-1.5)}}, storage.Float64(1.5)},
+		{"SQRT", []Expr{&Lit{storage.Float64(9)}}, storage.Float64(3)},
+		{"LENGTH", []Expr{&Lit{storage.Str("abc")}}, storage.Int64(3)},
+		{"LOWER", []Expr{&Lit{storage.Str("AbC")}}, storage.Str("abc")},
+		{"UPPER", []Expr{&Lit{storage.Str("AbC")}}, storage.Str("ABC")},
+		{"POW", []Expr{&Lit{storage.Float64(2)}, &Lit{storage.Float64(10)}}, storage.Float64(1024)},
+		{"SUBSTR", []Expr{&Lit{storage.Str("hello")}, &Lit{storage.Int64(2)}, &Lit{storage.Int64(3)}}, storage.Str("ell")},
+		{"STARTS_WITH", []Expr{&Lit{storage.Str("hello")}, &Lit{storage.Str("he")}}, storage.Bool(true)},
+		{"ISNULL", []Expr{&Lit{storage.NullValue(storage.TypeInt64)}}, storage.Bool(true)},
+		{"ISNOTNULL", []Expr{&Lit{storage.Int64(1)}}, storage.Bool(true)},
+	}
+	for _, c := range cases {
+		e := &Call{Name: c.name, Args: c.args}
+		got := mustEval(t, e, nil)
+		if !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", e, got, c.want)
+		}
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%lo", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_x", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"abc", "a%c%", true},
+		{"abc", "a_", false},
+	}
+	for _, c := range cases {
+		e := &Call{Name: "LIKE", Args: []Expr{&Lit{storage.Str(c.s)}, &Lit{storage.Str(c.pat)}}}
+		got := mustEval(t, e, nil)
+		if got.B != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.pat, got.B, c.want)
+		}
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	a := Hash64(storage.Int64(12345))
+	b := Hash64(storage.Int64(12345))
+	if a != b {
+		t.Error("Hash64 must be deterministic")
+	}
+	// Numeric coercion: int 3 and float 3.0 hash identically (same key).
+	if Hash64(storage.Int64(3)) != Hash64(storage.Float64(3)) {
+		t.Error("Hash64 must agree across numeric representations")
+	}
+}
+
+func TestClonePreservesEval(t *testing.T) {
+	schema := storage.Schema{{Name: "a", Type: storage.TypeInt64}}
+	e := &Binary{Op: OpMul,
+		L: &Binary{Op: OpAdd, L: &ColRef{Name: "a"}, R: &Lit{storage.Int64(1)}},
+		R: &Lit{storage.Int64(2)}}
+	cp := Clone(e)
+	if err := Bind(cp, schema); err != nil {
+		t.Fatal(err)
+	}
+	// The original is unbound; the clone must be independent.
+	if e.L.(*Binary).L.(*ColRef).Index == 0 {
+		t.Skip("original was mutated") // would indicate shallow clone
+	}
+	v := mustEval(t, cp, row(storage.Int64(4)))
+	if v.I != 10 {
+		t.Errorf("(a+1)*2 with a=4 = %v", v)
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	intLit := &Lit{storage.Int64(1)}
+	fLit := &Lit{storage.Float64(1)}
+	if (&Binary{Op: OpAdd, L: intLit, R: intLit}).Type() != storage.TypeInt64 {
+		t.Error("int+int should be int")
+	}
+	if (&Binary{Op: OpAdd, L: intLit, R: fLit}).Type() != storage.TypeFloat64 {
+		t.Error("int+float should be float")
+	}
+	if (&Binary{Op: OpDiv, L: intLit, R: intLit}).Type() != storage.TypeFloat64 {
+		t.Error("division is always float")
+	}
+	if (&Binary{Op: OpLt, L: intLit, R: intLit}).Type() != storage.TypeBool {
+		t.Error("comparison is bool")
+	}
+}
+
+// Property: arithmetic on int literals matches Go semantics.
+func TestArithmeticProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		l, r := &Lit{storage.Int64(int64(a))}, &Lit{storage.Int64(int64(b))}
+		add, _ := (&Binary{Op: OpAdd, L: l, R: r}).Eval(nil)
+		sub, _ := (&Binary{Op: OpSub, L: l, R: r}).Eval(nil)
+		mul, _ := (&Binary{Op: OpMul, L: l, R: r}).Eval(nil)
+		return add.I == int64(a)+int64(b) &&
+			sub.I == int64(a)-int64(b) &&
+			mul.I == int64(a)*int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LIKE with a pattern equal to the string (no wildcards) always
+// matches, and appending "%" preserves the match.
+func TestLikeProperty(t *testing.T) {
+	f := func(s string) bool {
+		clean := ""
+		for _, r := range s {
+			if r != '%' && r != '_' && r < 128 {
+				clean += string(r)
+			}
+		}
+		e1 := &Call{Name: "LIKE", Args: []Expr{&Lit{storage.Str(clean)}, &Lit{storage.Str(clean)}}}
+		v1, err := e1.Eval(nil)
+		if err != nil || !v1.B {
+			return false
+		}
+		e2 := &Call{Name: "LIKE", Args: []Expr{&Lit{storage.Str(clean)}, &Lit{storage.Str(clean + "%")}}}
+		v2, err := e2.Eval(nil)
+		return err == nil && v2.B
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package plan
+
+import (
+	"repro/internal/expr"
+	"repro/internal/sample"
+)
+
+// Optimize applies the rule-based rewrites:
+//
+//  1. Predicate pushdown — conjuncts of Filter nodes that reference only
+//     one base table move into that table's Scan, where they are evaluated
+//     against the raw row before materialization.
+//  2. Sampler/filter commutation — samplers always execute at the scan
+//     (Scan.Sample), *before* the pushed-down filter in plan order but the
+//     two commute: a row passes iff it passes both, and its weight is
+//     unaffected by the filter. This is the sampling-equivalence rule that
+//     lets the error analysis treat "sample then filter" and "filter then
+//     sample" identically (verified empirically in the sample tests).
+//
+// Optimize never changes result semantics for exact plans and never
+// changes sample *distributions* for approximate plans.
+func Optimize(root Node) Node {
+	root = pushFilters(root)
+	alignUniverseWeights(root)
+	return root
+}
+
+// alignUniverseWeights fixes Horvitz–Thompson weights for correlated
+// universe samplers: when several scans carry universe samplers with the
+// same rate and salt (the join-sampling pattern), a joined row's inclusion
+// probability is the shared rate — not the product — so exactly one scan
+// keeps the 1/rate weight and the rest are set to weight 1.
+func alignUniverseWeights(root Node) {
+	type key struct {
+		rate float64
+		salt uint64
+	}
+	first := make(map[key]bool)
+	for _, s := range Scans(root) {
+		if s.Sample == nil || s.Sample.Kind != sample.KindUniverse {
+			continue
+		}
+		k := key{rate: s.Sample.Rate, salt: s.Sample.Salt}
+		if first[k] {
+			s.Sample.NoWeight = true
+		} else {
+			first[k] = true
+			s.Sample.NoWeight = false
+		}
+	}
+}
+
+// pushFilters rewrites Filter-over-(Join|Scan) trees routing single-table
+// conjuncts into scans.
+func pushFilters(n Node) Node {
+	switch t := n.(type) {
+	case *Filter:
+		child := pushFilters(t.Child)
+		remaining := routeConjuncts(SplitAnd(t.Pred), child)
+		if len(remaining) == 0 {
+			return child
+		}
+		pred := CombineAnd(remaining)
+		// Re-bind against the child schema (clone-route may have stolen
+		// pieces, the rest is untouched and still bound).
+		return &Filter{Child: child, Pred: pred}
+	case *Project:
+		t.Child = pushFilters(t.Child)
+		return t
+	case *Join:
+		t.Left = pushFilters(t.Left)
+		t.Right = pushFilters(t.Right)
+		return t
+	case *Aggregate:
+		t.Child = pushFilters(t.Child)
+		return t
+	case *Sort:
+		t.Child = pushFilters(t.Child)
+		return t
+	case *Limit:
+		t.Child = pushFilters(t.Child)
+		return t
+	default:
+		return n
+	}
+}
+
+// routeConjuncts tries to sink each conjunct into a scan beneath n,
+// returning the conjuncts that could not be sunk.
+func routeConjuncts(conjuncts []expr.Expr, n Node) []expr.Expr {
+	scans := Scans(n)
+	var remaining []expr.Expr
+outer:
+	for _, c := range conjuncts {
+		cols := expr.Columns(c)
+		if len(cols) == 0 {
+			remaining = append(remaining, c)
+			continue
+		}
+		for _, s := range scans {
+			if coveredBy(cols, s.Table.Schema()) {
+				cp := expr.Clone(c)
+				if err := expr.Bind(cp, s.Table.Schema()); err != nil {
+					remaining = append(remaining, c)
+					continue outer
+				}
+				if s.Filter == nil {
+					s.Filter = cp
+				} else {
+					s.Filter = &expr.Binary{Op: expr.OpAnd, L: s.Filter, R: cp}
+				}
+				continue outer
+			}
+		}
+		remaining = append(remaining, c)
+	}
+	return remaining
+}
+
+// ApplySampler sets a sampler spec on the scan of the named table within
+// the plan, returning false if the table is not scanned. AQP engines use
+// this to inject samplers chosen at plan time (the Quickr pattern).
+func ApplySampler(root Node, table string, spec sample.Spec) bool {
+	for _, s := range Scans(root) {
+		if s.TableName == table {
+			cp := spec
+			s.Sample = &cp
+			return true
+		}
+	}
+	return false
+}
+
+// ClearSamplers removes all samplers from the plan (used to derive the
+// exact twin of an approximate plan).
+func ClearSamplers(root Node) {
+	for _, s := range Scans(root) {
+		s.Sample = nil
+	}
+}

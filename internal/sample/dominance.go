@@ -1,0 +1,86 @@
+package sample
+
+// Accuracy dominance — the partial order Quickr uses to reason about
+// sampler placement: spec A dominates spec B when, for every row, A's
+// inclusion probability is at least B's (and A's pass-through guarantees
+// subsume B's). A dominating sampler is never less accurate for linear
+// aggregates, so the planner may freely substitute it; incomparable specs
+// (e.g. block vs row sampling, whose relative accuracy depends on the
+// physical layout — see experiment E15) must not be swapped on accuracy
+// grounds.
+
+// Dominates reports whether sampling with a is guaranteed to be at least
+// as accurate as sampling with b for linear aggregates, based on
+// pointwise inclusion probabilities. It is conservative: false means
+// "not provably dominant", not "worse".
+func Dominates(a, b Spec) bool {
+	// Exact (no sampling) dominates everything.
+	if a.Kind == KindNone {
+		return true
+	}
+	if b.Kind == KindNone {
+		return false
+	}
+	// Weight suppression breaks estimator comparability.
+	if a.NoWeight != b.NoWeight {
+		return false
+	}
+	switch {
+	case a.Kind == b.Kind:
+		return dominatesSameKind(a, b)
+	case a.Kind == KindDistinct && b.Kind == KindUniformRow:
+		// The distinct sampler includes every row with probability at
+		// least its tail rate, and the first KeepThreshold rows of every
+		// stratum with certainty: pointwise ≥ uniform at the same rate.
+		return a.Rate >= b.Rate
+	case a.Kind == KindUniformRow && b.Kind == KindBiLevel:
+		// uniform(p) == bilevel(1, p); more generally uniform dominates
+		// any bi-level scheme with the same or smaller overall rate,
+		// since it removes the block-stage correlation.
+		return a.Rate >= b.Rate*b.RowRate
+	case a.Kind == KindBiLevel && b.Kind == KindBlock:
+		// Bi-level with block rate ≥ b's rate and row rate 1 degenerates
+		// to b; only that boundary case is provable.
+		return a.RowRate == 1 && a.Rate >= b.Rate
+	default:
+		// Cross-kind pairs (block vs row, universe vs anything keyed
+		// differently) are incomparable in general.
+		return false
+	}
+}
+
+func dominatesSameKind(a, b Spec) bool {
+	switch a.Kind {
+	case KindUniformRow, KindBlock:
+		return a.Rate >= b.Rate
+	case KindUniverse:
+		// Universe samplers are only comparable on the same key domain
+		// and salt (otherwise they keep unrelated key subsets).
+		return sameKeyColumns(a.KeyColumns, b.KeyColumns) && a.Salt == b.Salt && a.Rate >= b.Rate
+	case KindDistinct:
+		return sameKeyColumns(a.KeyColumns, b.KeyColumns) &&
+			a.Rate >= b.Rate && a.KeepThreshold >= b.KeepThreshold
+	case KindBiLevel:
+		// Both stages must be at least as inclusive.
+		return a.Rate >= b.Rate && a.RowRate >= b.RowRate
+	}
+	return false
+}
+
+func sameKeyColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports mutual dominance: the two specs have identical
+// pointwise inclusion behavior for accuracy purposes.
+func Equivalent(a, b Spec) bool {
+	return Dominates(a, b) && Dominates(b, a)
+}

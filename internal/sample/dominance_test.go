@@ -1,0 +1,157 @@
+package sample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominanceBasics(t *testing.T) {
+	uni := func(p float64) Spec { return Spec{Kind: KindUniformRow, Rate: p} }
+	if !Dominates(Spec{Kind: KindNone}, uni(0.5)) {
+		t.Error("exact dominates any sample")
+	}
+	if Dominates(uni(0.5), Spec{Kind: KindNone}) {
+		t.Error("no sample dominates exact")
+	}
+	if !Dominates(uni(0.5), uni(0.1)) || Dominates(uni(0.1), uni(0.5)) {
+		t.Error("uniform rate monotonicity")
+	}
+	if !Equivalent(uni(0.3), uni(0.3)) {
+		t.Error("self equivalence")
+	}
+}
+
+func TestDominanceDistinct(t *testing.T) {
+	d := func(p float64, k int) Spec {
+		return Spec{Kind: KindDistinct, Rate: p, KeyColumns: []string{"g"}, KeepThreshold: k}
+	}
+	if !Dominates(d(0.1, 50), d(0.1, 10)) {
+		t.Error("bigger keep threshold dominates")
+	}
+	if Dominates(d(0.1, 10), d(0.1, 50)) {
+		t.Error("smaller keep threshold must not dominate")
+	}
+	// Distinct dominates uniform at the same rate.
+	if !Dominates(d(0.1, 10), Spec{Kind: KindUniformRow, Rate: 0.1}) {
+		t.Error("distinct dominates uniform at equal rate")
+	}
+	// Different key columns are incomparable.
+	other := Spec{Kind: KindDistinct, Rate: 0.2, KeyColumns: []string{"h"}, KeepThreshold: 10}
+	if Dominates(other, d(0.1, 10)) {
+		t.Error("different stratification keys are incomparable")
+	}
+}
+
+func TestDominanceUniverse(t *testing.T) {
+	u := func(p float64, salt uint64) Spec {
+		return Spec{Kind: KindUniverse, Rate: p, KeyColumns: []string{"k"}, Salt: salt}
+	}
+	if !Dominates(u(0.5, 7), u(0.1, 7)) {
+		t.Error("universe rate monotonicity on same salt")
+	}
+	if Dominates(u(0.5, 7), u(0.1, 8)) {
+		t.Error("different salts keep unrelated key subsets")
+	}
+}
+
+func TestDominanceBlockVsRowIncomparable(t *testing.T) {
+	blk := Spec{Kind: KindBlock, Rate: 0.5}
+	row := Spec{Kind: KindUniformRow, Rate: 0.01}
+	// Even a 50% block sample cannot be proven at least as accurate as a
+	// 1% row sample: on a clustered layout (E15) it can be worse.
+	if Dominates(blk, row) || Dominates(row, blk) {
+		t.Error("block vs row sampling must be incomparable")
+	}
+}
+
+func TestDominanceBiLevel(t *testing.T) {
+	bi := func(pb, pr float64) Spec { return Spec{Kind: KindBiLevel, Rate: pb, RowRate: pr} }
+	if !Dominates(bi(0.5, 0.5), bi(0.2, 0.5)) {
+		t.Error("bi-level stage monotonicity")
+	}
+	if Dominates(bi(0.5, 0.1), bi(0.2, 0.5)) {
+		t.Error("crossed stages are incomparable")
+	}
+	// uniform(p) dominates bi-level with the same overall rate.
+	if !Dominates(Spec{Kind: KindUniformRow, Rate: 0.1}, bi(0.5, 0.2)) {
+		t.Error("uniform dominates bi-level at equal overall rate")
+	}
+	// bilevel(p, 1) degenerates to block(p).
+	if !Dominates(bi(0.5, 1), Spec{Kind: KindBlock, Rate: 0.5}) {
+		t.Error("bi-level with rowRate 1 dominates block at equal rate")
+	}
+}
+
+func TestDominanceNoWeight(t *testing.T) {
+	a := Spec{Kind: KindUniverse, Rate: 0.5, KeyColumns: []string{"k"}}
+	b := a
+	b.NoWeight = true
+	if Dominates(a, b) || Dominates(b, a) {
+		t.Error("weight-suppressed specs are incomparable with weighted ones")
+	}
+}
+
+// Property: Dominates is reflexive and transitive over random uniform and
+// distinct specs (a partial order needs both).
+func TestDominancePartialOrderProperty(t *testing.T) {
+	mk := func(kindBit bool, rateRaw, keepRaw uint8) Spec {
+		rate := (float64(rateRaw%100) + 1) / 101
+		if kindBit {
+			return Spec{Kind: KindUniformRow, Rate: rate}
+		}
+		return Spec{Kind: KindDistinct, Rate: rate, KeyColumns: []string{"g"},
+			KeepThreshold: int(keepRaw%50) + 1}
+	}
+	reflexive := func(kb bool, r, k uint8) bool {
+		s := mk(kb, r, k)
+		return Dominates(s, s)
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Error("reflexivity:", err)
+	}
+	transitive := func(k1, k2, k3 bool, r1, r2, r3, kp1, kp2, kp3 uint8) bool {
+		a, b, c := mk(k1, r1, kp1), mk(k2, r2, kp2), mk(k3, r3, kp3)
+		if Dominates(a, b) && Dominates(b, c) {
+			return Dominates(a, c)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error("transitivity:", err)
+	}
+}
+
+// Empirical cross-check: if a dominates b (uniform case), a's realized
+// estimates have no larger variance across seeds.
+func TestDominanceEmpirical(t *testing.T) {
+	xs := make([]float64, 5000)
+	var truth float64
+	for i := range xs {
+		xs[i] = float64(i%31) + 1
+		truth += xs[i]
+	}
+	varianceOf := func(p float64) float64 {
+		var acc, acc2 float64
+		trials := 80
+		for seed := 0; seed < trials; seed++ {
+			u := NewUniform(p, int64(seed))
+			var est float64
+			for i, x := range xs {
+				if d := u.Decide(i, ""); d.Keep {
+					est += d.Weight * x
+				}
+			}
+			acc += est
+			acc2 += est * est
+		}
+		mean := acc / float64(trials)
+		return acc2/float64(trials) - mean*mean
+	}
+	hi := varianceOf(0.2)
+	lo := varianceOf(0.02)
+	if hi >= lo {
+		t.Errorf("dominating (higher-rate) sampler must have lower variance: %v vs %v",
+			math.Sqrt(hi), math.Sqrt(lo))
+	}
+}

@@ -1,0 +1,130 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// heteroTable builds strata with wildly different spreads: group 0 is
+// constant, group 1 moderate, group 2 heavy.
+func heteroTable(t *testing.T, perGroup int, seed int64) *storage.Table {
+	t.Helper()
+	tbl := storage.NewTable("h", storage.Schema{
+		{Name: "g", Type: storage.TypeInt64},
+		{Name: "v", Type: storage.TypeFloat64},
+	})
+	rng := rand.New(rand.NewSource(seed))
+	for g := 0; g < 3; g++ {
+		for i := 0; i < perGroup; i++ {
+			var v float64
+			switch g {
+			case 0:
+				v = 10 // constant
+			case 1:
+				v = 100 + rng.NormFloat64()*10
+			default:
+				v = 1000 + rng.NormFloat64()*500
+			}
+			if err := tbl.AppendRow(storage.Int64(int64(g)), storage.Float64(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tbl
+}
+
+func TestBuildStratifiedNeymanAllocatesBySpread(t *testing.T) {
+	tbl := heteroTable(t, 2000, 3)
+	res, err := BuildStratifiedNeyman(tbl, NeymanConfig{
+		KeyColumns: []string{"g"}, ValueColumn: "v", TotalBudget: 600, Seed: 1}, "ny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strata != 3 {
+		t.Fatalf("strata = %d", res.Strata)
+	}
+	// Count sampled rows per group: the heavy group must dominate.
+	gIdx := res.Table.Schema().ColumnIndex("g")
+	counts := map[int64]int{}
+	for i := 0; i < res.Table.NumRows(); i++ {
+		counts[res.Table.Column(gIdx).Value(i).I]++
+	}
+	if counts[2] <= counts[1] || counts[1] <= counts[0] {
+		t.Errorf("allocation should follow spread: %v", counts)
+	}
+	if counts[0] < 1 {
+		t.Error("constant stratum still needs a representative")
+	}
+	// Budget respected (within rounding).
+	if res.SampleRows > 620 {
+		t.Errorf("sample rows = %d over budget", res.SampleRows)
+	}
+	// HT count is exact: Σ weights = population.
+	wIdx := res.Table.Schema().ColumnIndex(WeightColumn)
+	var htCount float64
+	for i := 0; i < res.Table.NumRows(); i++ {
+		htCount += res.Table.Column(wIdx).Value(i).F
+	}
+	if math.Abs(htCount-6000) > 1e-6 {
+		t.Errorf("HT count = %v, want 6000", htCount)
+	}
+}
+
+func TestNeymanBeatsEqualCapEmpirically(t *testing.T) {
+	tbl := heteroTable(t, 3000, 9)
+	// True sum.
+	vIdx := tbl.Schema().ColumnIndex("v")
+	var truth float64
+	for i := 0; i < tbl.NumRows(); i++ {
+		truth += tbl.Column(vIdx).Value(i).F
+	}
+	sumOf := func(st *StratifiedResult) float64 {
+		vi := st.Table.Schema().ColumnIndex("v")
+		wi := st.Table.Schema().ColumnIndex(WeightColumn)
+		var s float64
+		for i := 0; i < st.Table.NumRows(); i++ {
+			s += st.Table.Column(vi).Value(i).F * st.Table.Column(wi).Value(i).F
+		}
+		return s
+	}
+	trials := 25
+	var neyErr, eqErr float64
+	for tr := 0; tr < trials; tr++ {
+		ney, err := BuildStratifiedNeyman(tbl, NeymanConfig{
+			KeyColumns: []string{"g"}, ValueColumn: "v", TotalBudget: 300,
+			Seed: int64(tr) * 7}, "n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := BuildStratified(tbl, StratifiedConfig{
+			KeyColumns: []string{"g"}, CapPerStratum: 100, Seed: int64(tr) * 7}, "e")
+		if err != nil {
+			t.Fatal(err)
+		}
+		neyErr += math.Abs(sumOf(ney)-truth) / truth
+		eqErr += math.Abs(sumOf(eq)-truth) / truth
+	}
+	if neyErr >= eqErr {
+		t.Errorf("Neyman allocation should beat equal caps at equal budget: %v vs %v",
+			neyErr/float64(trials), eqErr/float64(trials))
+	}
+}
+
+func TestBuildStratifiedNeymanValidation(t *testing.T) {
+	tbl := heteroTable(t, 10, 1)
+	if _, err := BuildStratifiedNeyman(tbl, NeymanConfig{
+		KeyColumns: []string{"g"}, ValueColumn: "v"}, "x"); err == nil {
+		t.Error("zero budget must error")
+	}
+	if _, err := BuildStratifiedNeyman(tbl, NeymanConfig{
+		KeyColumns: []string{"nope"}, ValueColumn: "v", TotalBudget: 10}, "x"); err == nil {
+		t.Error("bad key column must error")
+	}
+	if _, err := BuildStratifiedNeyman(tbl, NeymanConfig{
+		KeyColumns: []string{"g"}, ValueColumn: "nope", TotalBudget: 10}, "x"); err == nil {
+		t.Error("bad value column must error")
+	}
+}

@@ -1,0 +1,48 @@
+package sample
+
+import "math/rand"
+
+// Reservoir maintains a uniform without-replacement sample of fixed
+// capacity k over a stream of unknown length (Algorithm R).
+type Reservoir[T any] struct {
+	k     int
+	seen  int
+	items []T
+	rng   *rand.Rand
+}
+
+// NewReservoir returns an empty reservoir of capacity k.
+func NewReservoir[T any](k int, seed int64) *Reservoir[T] {
+	return &Reservoir[T]{k: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers one stream element to the reservoir.
+func (r *Reservoir[T]) Add(item T) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, item)
+		return
+	}
+	j := r.rng.Intn(r.seen)
+	if j < r.k {
+		r.items[j] = item
+	}
+}
+
+// Items returns the current sample (shared slice; do not mutate).
+func (r *Reservoir[T]) Items() []T { return r.items }
+
+// Seen returns the number of elements offered so far.
+func (r *Reservoir[T]) Seen() int { return r.seen }
+
+// Weight returns the Horvitz–Thompson weight of each retained element:
+// seen/k when the reservoir is full, 1 otherwise.
+func (r *Reservoir[T]) Weight() float64 {
+	if len(r.items) == 0 {
+		return 0
+	}
+	if r.seen <= r.k {
+		return 1
+	}
+	return float64(r.seen) / float64(r.k)
+}

@@ -1,0 +1,496 @@
+package sample
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{Kind: KindNone},
+		{Kind: KindUniformRow, Rate: 0.5},
+		{Kind: KindBlock, Rate: 1},
+		{Kind: KindUniverse, Rate: 0.1, KeyColumns: []string{"k"}},
+		{Kind: KindDistinct, Rate: 0.1, KeyColumns: []string{"g"}, KeepThreshold: 5},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%v): %v", s, err)
+		}
+	}
+	bad := []Spec{
+		{Kind: KindUniformRow, Rate: 0},
+		{Kind: KindUniformRow, Rate: 1.5},
+		{Kind: KindUniverse, Rate: 0.1},
+		{Kind: KindDistinct, Rate: 0.1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%v) should fail", s)
+		}
+	}
+}
+
+func TestUniformRateEmpirical(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.5} {
+		u := NewUniform(p, 42)
+		n := 200000
+		kept := 0
+		for i := 0; i < n; i++ {
+			if d := u.Decide(i, ""); d.Keep {
+				kept++
+				if d.Weight != 1/p {
+					t.Fatalf("weight = %v, want %v", d.Weight, 1/p)
+				}
+			}
+		}
+		got := float64(kept) / float64(n)
+		if math.Abs(got-p) > 4*math.Sqrt(p*(1-p)/float64(n)) {
+			t.Errorf("p=%v: empirical rate %v", p, got)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := NewUniform(0.3, 7)
+	b := NewUniform(0.3, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Decide(i, "").Keep != b.Decide(i, "").Keep {
+			t.Fatal("same seed must give same decisions")
+		}
+	}
+	c := NewUniform(0.3, 8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Decide(i, "").Keep == c.Decide(i, "").Keep {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestBlockSampler(t *testing.T) {
+	b := NewBlock(0.5, 100, 1)
+	// Rows in the same block share the decision.
+	for blk := 0; blk < 50; blk++ {
+		d0 := b.Decide(blk*100, "")
+		for _, off := range []int{1, 50, 99} {
+			if b.Decide(blk*100+off, "").Keep != d0.Keep {
+				t.Fatalf("block %d rows disagree", blk)
+			}
+		}
+	}
+	// Empirical block rate.
+	kept := 0
+	n := 10000
+	for blk := 0; blk < n; blk++ {
+		if b.DecideBlock(blk).Keep {
+			kept++
+		}
+	}
+	got := float64(kept) / float64(n)
+	if math.Abs(got-0.5) > 0.03 {
+		t.Errorf("block rate = %v", got)
+	}
+}
+
+func TestUniverseAlignment(t *testing.T) {
+	// The same key must receive the same decision from two independent
+	// sampler instances with the same salt — the property that makes
+	// join sampling work.
+	a := NewUniverse(0.3, 123)
+	b := NewUniverse(0.3, 123)
+	for i := 0; i < 5000; i++ {
+		key := storage.Int64(int64(i)).GroupKey()
+		if a.Decide(0, key).Keep != b.Decide(999, key).Keep {
+			t.Fatal("universe samplers with same salt must agree on keys")
+		}
+	}
+	// Different salt decorrelates.
+	c := NewUniverse(0.3, 456)
+	agree := 0
+	for i := 0; i < 5000; i++ {
+		key := storage.Int64(int64(i)).GroupKey()
+		if a.Decide(0, key).Keep == c.Decide(0, key).Keep {
+			agree++
+		}
+	}
+	if agree == 5000 {
+		t.Error("different salts should decorrelate")
+	}
+}
+
+func TestUniverseRate(t *testing.T) {
+	u := NewUniverse(0.2, 9)
+	kept := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if u.Decide(0, storage.Int64(int64(i)).GroupKey()).Keep {
+			kept++
+		}
+	}
+	got := float64(kept) / float64(n)
+	if math.Abs(got-0.2) > 0.01 {
+		t.Errorf("universe rate = %v", got)
+	}
+}
+
+func TestDistinctKeepsRareStrata(t *testing.T) {
+	d := NewDistinct(0.01, 3, 5)
+	// A rare stratum with 3 rows: all kept with weight 1.
+	for i := 0; i < 3; i++ {
+		dec := d.Decide(i, "rare")
+		if !dec.Keep || dec.Weight != 1 {
+			t.Fatalf("rare row %d: %+v", i, dec)
+		}
+	}
+	// A huge stratum: first 3 kept, the rest sampled at ~1%.
+	kept := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if dec := d.Decide(1000+i, "big"); dec.Keep {
+			kept++
+			if i >= 3 && dec.Weight != 100 {
+				t.Fatalf("tail weight = %v", dec.Weight)
+			}
+		}
+	}
+	rate := float64(kept-3) / float64(n-3)
+	if math.Abs(rate-0.01) > 0.002 {
+		t.Errorf("distinct tail rate = %v", rate)
+	}
+	if d.StrataSeen() != 2 {
+		t.Errorf("strata seen = %d", d.StrataSeen())
+	}
+}
+
+// Property: HT estimation over the uniform sampler is unbiased — the mean
+// of the weighted sum across seeds approaches the true sum.
+func TestUniformHTUnbiasedProperty(t *testing.T) {
+	xs := make([]float64, 5000)
+	var trueSum float64
+	for i := range xs {
+		xs[i] = float64(i%97) + 1
+		trueSum += xs[i]
+	}
+	var acc, acc2 float64
+	trials := 200
+	for seed := 0; seed < trials; seed++ {
+		u := NewUniform(0.1, int64(seed))
+		var est float64
+		for i, x := range xs {
+			if d := u.Decide(i, ""); d.Keep {
+				est += x * d.Weight
+			}
+		}
+		acc += est
+		acc2 += est * est
+	}
+	mean := acc / float64(trials)
+	sd := math.Sqrt(acc2/float64(trials) - mean*mean)
+	se := sd / math.Sqrt(float64(trials))
+	if math.Abs(mean-trueSum) > 4*se+1e-9 {
+		t.Errorf("uniform HT biased: mean %v, true %v, se %v", mean, trueSum, se)
+	}
+}
+
+// Property: sampling commutes with filtering for the uniform sampler —
+// the set of (row, keep) decisions is independent of any filter, so
+// filter∘sample = sample∘filter exactly.
+func TestSampleFilterCommutes(t *testing.T) {
+	f := func(seed int64, keepMod uint8) bool {
+		mod := int(keepMod%7) + 2
+		u := NewUniform(0.3, seed)
+		var a, b []int
+		// sample then filter
+		for i := 0; i < 2000; i++ {
+			if u.Decide(i, "").Keep && i%mod == 0 {
+				a = append(a, i)
+			}
+		}
+		// filter then sample
+		for i := 0; i < 2000; i++ {
+			if i%mod == 0 && u.Decide(i, "").Keep {
+				b = append(b, i)
+			}
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBiLevelSampler(t *testing.T) {
+	bl := NewBiLevel(0.2, 0.1, 100, 3)
+	if math.Abs(bl.Rate()-0.02) > 1e-12 {
+		t.Fatalf("overall rate = %v", bl.Rate())
+	}
+	// Rows of skipped blocks never pass; rows of kept blocks pass at the
+	// row rate with the combined weight.
+	kept := 0
+	n := 200000
+	for i := 0; i < n; i++ {
+		d := bl.Decide(i, "")
+		if d.Keep {
+			kept++
+			if math.Abs(d.Weight-50) > 1e-9 { // 1/(0.2*0.1)
+				t.Fatalf("weight = %v", d.Weight)
+			}
+			if !bl.BlockSampler().DecideBlock(i / 100).Keep {
+				t.Fatal("row kept from a skipped block")
+			}
+		}
+	}
+	got := float64(kept) / float64(n)
+	if math.Abs(got-0.02) > 0.005 {
+		t.Errorf("empirical bilevel rate = %v", got)
+	}
+}
+
+func TestBiLevelHTUnbiased(t *testing.T) {
+	xs := make([]float64, 20000)
+	var truth float64
+	for i := range xs {
+		xs[i] = float64(i%113) + 1
+		truth += xs[i]
+	}
+	var acc float64
+	trials := 150
+	for seed := 0; seed < trials; seed++ {
+		bl := NewBiLevel(0.3, 0.2, 64, int64(seed))
+		var est float64
+		for i, x := range xs {
+			if d := bl.Decide(i, ""); d.Keep {
+				est += d.Weight * x
+			}
+		}
+		acc += est
+	}
+	mean := acc / float64(trials)
+	if math.Abs(mean-truth)/truth > 0.03 {
+		t.Errorf("bilevel HT mean %v vs truth %v", mean, truth)
+	}
+}
+
+func TestBiLevelSpec(t *testing.T) {
+	good := Spec{Kind: KindBiLevel, Rate: 0.2, RowRate: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(good, 128)
+	if err != nil || s == nil {
+		t.Fatalf("New: %v", err)
+	}
+	bad := Spec{Kind: KindBiLevel, Rate: 0.2}
+	if err := bad.Validate(); err == nil {
+		t.Error("missing row rate must fail validation")
+	}
+	if !containsStr(good.String(), "rowRate") {
+		t.Errorf("String = %q", good.String())
+	}
+}
+
+func containsStr(s, sub string) bool { return strings.Contains(s, sub) }
+
+func TestReservoir(t *testing.T) {
+	r := NewReservoir[int](10, 3)
+	for i := 0; i < 1000; i++ {
+		r.Add(i)
+	}
+	if len(r.Items()) != 10 {
+		t.Fatalf("items = %d", len(r.Items()))
+	}
+	if r.Seen() != 1000 {
+		t.Fatalf("seen = %d", r.Seen())
+	}
+	if r.Weight() != 100 {
+		t.Fatalf("weight = %v", r.Weight())
+	}
+	// Under capacity: everything kept with weight 1.
+	r2 := NewReservoir[int](10, 3)
+	r2.Add(1)
+	r2.Add(2)
+	if len(r2.Items()) != 2 || r2.Weight() != 1 {
+		t.Fatal("under-capacity reservoir broken")
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 100 items should land in a k=10 reservoir with prob 1/10.
+	counts := make([]int, 100)
+	trials := 3000
+	for s := 0; s < trials; s++ {
+		r := NewReservoir[int](10, int64(s))
+		for i := 0; i < 100; i++ {
+			r.Add(i)
+		}
+		for _, it := range r.Items() {
+			counts[it]++
+		}
+	}
+	for i, c := range counts {
+		got := float64(c) / float64(trials)
+		if math.Abs(got-0.1) > 0.04 {
+			t.Errorf("item %d inclusion rate %v, want 0.1", i, got)
+		}
+	}
+}
+
+func makeTable(t *testing.T, groups []int) *storage.Table {
+	t.Helper()
+	tbl := storage.NewTable("src", storage.Schema{
+		{Name: "g", Type: storage.TypeInt64},
+		{Name: "v", Type: storage.TypeFloat64},
+	})
+	row := 0
+	for g, n := range groups {
+		for i := 0; i < n; i++ {
+			if err := tbl.AppendRow(storage.Int64(int64(g)), storage.Float64(float64(row))); err != nil {
+				t.Fatal(err)
+			}
+			row++
+		}
+	}
+	return tbl
+}
+
+func TestBuildStratified(t *testing.T) {
+	// Group sizes: 2, 50, 500.
+	tbl := makeTable(t, []int{2, 50, 500})
+	res, err := BuildStratified(tbl, StratifiedConfig{
+		KeyColumns: []string{"g"}, CapPerStratum: 10, Seed: 1}, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strata != 3 {
+		t.Fatalf("strata = %d", res.Strata)
+	}
+	if res.SampleRows != 2+10+10 {
+		t.Fatalf("sample rows = %d", res.SampleRows)
+	}
+	// Weight column present and correct: stratum g=0 has weight 1,
+	// g=1 weight 5, g=2 weight 50.
+	wIdx := res.Table.Schema().ColumnIndex(WeightColumn)
+	gIdx := res.Table.Schema().ColumnIndex("g")
+	if wIdx < 0 || gIdx < 0 {
+		t.Fatal("columns missing")
+	}
+	wantW := map[int64]float64{0: 1, 1: 5, 2: 50}
+	for i := 0; i < res.Table.NumRows(); i++ {
+		g := res.Table.Column(gIdx).Value(i).I
+		w := res.Table.Column(wIdx).Value(i).F
+		if w != wantW[g] {
+			t.Fatalf("row %d: g=%d w=%v want %v", i, g, w, wantW[g])
+		}
+	}
+	// HT count over the sample equals the true row count exactly (each
+	// stratum contributes size/cap * cap).
+	var htCount float64
+	for i := 0; i < res.Table.NumRows(); i++ {
+		htCount += res.Table.Column(wIdx).Value(i).F
+	}
+	if htCount != 552 {
+		t.Fatalf("HT count = %v, want 552", htCount)
+	}
+	if res.Fraction() <= 0 || res.Fraction() > 1 {
+		t.Fatalf("fraction = %v", res.Fraction())
+	}
+	if res.BuildVersion != tbl.Version() {
+		t.Error("build version mismatch")
+	}
+}
+
+func TestBuildStratifiedErrors(t *testing.T) {
+	tbl := makeTable(t, []int{5})
+	if _, err := BuildStratified(tbl, StratifiedConfig{KeyColumns: []string{"nope"}, CapPerStratum: 5}, "s"); err == nil {
+		t.Error("expected unknown column error")
+	}
+	if _, err := BuildStratified(tbl, StratifiedConfig{KeyColumns: []string{"g"}}, "s"); err == nil {
+		t.Error("expected cap error")
+	}
+}
+
+func TestBuildUniformTable(t *testing.T) {
+	tbl := makeTable(t, []int{1000})
+	res, err := BuildUniformTable(tbl, 0.2, 9, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := res.Fraction()
+	if math.Abs(frac-0.2) > 0.06 {
+		t.Fatalf("fraction = %v", frac)
+	}
+	wIdx := res.Table.Schema().ColumnIndex(WeightColumn)
+	for i := 0; i < res.Table.NumRows(); i++ {
+		if res.Table.Column(wIdx).Value(i).F != 5 {
+			t.Fatal("uniform weight must be 1/p")
+		}
+	}
+	if _, err := BuildUniformTable(tbl, 0, 1, "u2"); err == nil {
+		t.Error("expected rate error")
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	one := KeyOf([]storage.Value{storage.Int64(5)})
+	if one != storage.Int64(5).GroupKey() {
+		t.Error("single key must match GroupKey")
+	}
+	multi := KeyOf([]storage.Value{storage.Int64(1), storage.Str("a")})
+	multi2 := KeyOf([]storage.Value{storage.Int64(1), storage.Str("a")})
+	if multi != multi2 {
+		t.Error("KeyOf must be deterministic")
+	}
+	diff := KeyOf([]storage.Value{storage.Int64(1), storage.Str("b")})
+	if multi == diff {
+		t.Error("different tuples must produce different keys")
+	}
+}
+
+func TestNewFromSpec(t *testing.T) {
+	cases := []Spec{
+		{Kind: KindUniformRow, Rate: 0.1},
+		{Kind: KindBlock, Rate: 0.1},
+		{Kind: KindUniverse, Rate: 0.1, KeyColumns: []string{"k"}},
+		{Kind: KindDistinct, Rate: 0.1, KeyColumns: []string{"g"}, KeepThreshold: 2},
+	}
+	for _, spec := range cases {
+		s, err := New(spec, 128)
+		if err != nil || s == nil {
+			t.Errorf("New(%v): %v", spec, err)
+			continue
+		}
+		if s.Rate() != 0.1 {
+			t.Errorf("rate = %v", s.Rate())
+		}
+	}
+	if s, err := New(Spec{Kind: KindNone}, 128); err != nil || s != nil {
+		t.Error("KindNone should return nil sampler")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Kind: KindDistinct, Rate: 0.05, KeyColumns: []string{"a", "b"}, KeepThreshold: 10}
+	str := s.String()
+	if str == "" || str == "none" {
+		t.Errorf("String = %q", str)
+	}
+	if (Spec{}).String() != "none" {
+		t.Error("zero spec renders none")
+	}
+}

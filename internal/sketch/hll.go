@@ -1,0 +1,154 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// HyperLogLog estimates the number of distinct keys in a stream using
+// 2^precision one-byte registers. Standard error is ~1.04/sqrt(2^p).
+type HyperLogLog struct {
+	p    uint8
+	m    uint32
+	regs []uint8
+}
+
+// NewHyperLogLog allocates a sketch with the given precision (4..18).
+func NewHyperLogLog(precision uint8) (*HyperLogLog, error) {
+	if precision < 4 || precision > 18 {
+		return nil, fmt.Errorf("sketch: HLL precision %d out of [4,18]", precision)
+	}
+	m := uint32(1) << precision
+	return &HyperLogLog{p: precision, m: m, regs: make([]uint8, m)}, nil
+}
+
+// Add observes one key.
+func (h *HyperLogLog) Add(key string) {
+	x := hashBytes([]byte(key), 0x1b873593)
+	idx := x >> (64 - h.p)
+	rest := x<<h.p | 1<<(h.p-1) // ensure nonzero
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// Estimate returns the cardinality estimate with the standard bias
+// corrections (linear counting for small ranges).
+func (h *HyperLogLog) Estimate() float64 {
+	m := float64(h.m)
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	switch h.m {
+	case 16:
+		alpha = 0.673
+	case 32:
+		alpha = 0.697
+	case 64:
+		alpha = 0.709
+	}
+	e := alpha * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		// Linear counting for the small range.
+		return m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// StdError returns the theoretical relative standard error.
+func (h *HyperLogLog) StdError() float64 { return 1.04 / math.Sqrt(float64(h.m)) }
+
+// Bytes returns the register memory footprint.
+func (h *HyperLogLog) Bytes() int { return len(h.regs) }
+
+// Merge takes the register-wise max of another sketch with identical
+// precision (union semantics).
+func (h *HyperLogLog) Merge(o *HyperLogLog) error {
+	if h.p != o.p {
+		return fmt.Errorf("sketch: HLL precision mismatch")
+	}
+	for i, r := range o.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+	return nil
+}
+
+// AMS estimates the second frequency moment F2 = Σ f(k)² of a stream
+// (useful for self-join size estimation) with depth×width counters of
+// random ±1 projections.
+type AMS struct {
+	width  int
+	depth  int
+	cells  []float64
+	seedsA []uint64
+}
+
+// NewAMS allocates an AMS sketch. Relative error ~ 1/sqrt(width) with
+// failure probability shrinking in depth (median of means).
+func NewAMS(width, depth int) (*AMS, error) {
+	if width <= 0 || depth <= 0 {
+		return nil, fmt.Errorf("sketch: AMS dimensions must be positive")
+	}
+	a := &AMS{width: width, depth: depth,
+		cells: make([]float64, width*depth), seedsA: make([]uint64, depth*width)}
+	var s uint64 = 0x2545F4914F6CDD1D
+	for i := range a.seedsA {
+		s = mix64(s + 0x9e3779b97f4a7c15)
+		a.seedsA[i] = s
+	}
+	return a, nil
+}
+
+// Add observes key with multiplicity delta.
+func (a *AMS) Add(key string, delta float64) {
+	b := []byte(key)
+	for d := 0; d < a.depth; d++ {
+		for w := 0; w < a.width; w++ {
+			h := hashBytes(b, a.seedsA[d*a.width+w])
+			sign := float64(1)
+			if h&1 == 1 {
+				sign = -1
+			}
+			a.cells[d*a.width+w] += sign * delta
+		}
+	}
+}
+
+// EstimateF2 returns the median over depth of the mean over width of the
+// squared projections.
+func (a *AMS) EstimateF2() float64 {
+	meds := make([]float64, a.depth)
+	for d := 0; d < a.depth; d++ {
+		var mean float64
+		for w := 0; w < a.width; w++ {
+			c := a.cells[d*a.width+w]
+			mean += c * c
+		}
+		meds[d] = mean / float64(a.width)
+	}
+	return median(meds)
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

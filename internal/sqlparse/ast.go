@@ -1,0 +1,275 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/sample"
+	"repro/internal/storage"
+)
+
+// AggFunc names an aggregate function.
+type AggFunc string
+
+// Supported aggregate functions.
+const (
+	AggSum        AggFunc = "SUM"
+	AggCount      AggFunc = "COUNT"
+	AggAvg        AggFunc = "AVG"
+	AggMin        AggFunc = "MIN"
+	AggMax        AggFunc = "MAX"
+	AggPercentile AggFunc = "PERCENTILE"
+)
+
+// Linear reports whether the aggregate is a linear (sampling-friendly)
+// aggregate. MIN/MAX and COUNT(DISTINCT) are non-linear: samples cannot
+// bound their error, so approximate engines must fall back to exact
+// execution for them — one of the paper's generality limits.
+func (f AggFunc) Linear() bool { return f == AggSum || f == AggCount || f == AggAvg }
+
+// SampleApproximable reports whether the aggregate's error can be bounded
+// from a uniform sample. Linear aggregates qualify via the CLT;
+// PERCENTILE qualifies via the DKW inequality on the empirical CDF
+// (distribution precision). MIN/MAX and COUNT(DISTINCT) do not.
+func (f AggFunc) SampleApproximable() bool { return f.Linear() || f == AggPercentile }
+
+// AggExpr is an aggregate call appearing inside a select item. It
+// implements expr.Expr so that composite items such as SUM(a)/SUM(b) parse
+// into ordinary expression trees; the planner replaces each AggExpr with a
+// reference to the aggregate's output slot before evaluation.
+type AggExpr struct {
+	Func     AggFunc
+	Arg      expr.Expr // nil for COUNT(*)
+	Star     bool
+	Distinct bool
+	// Param is PERCENTILE's quantile in (0, 1).
+	Param float64
+	// Slot is assigned by the planner: the index of this aggregate's
+	// output among the query's aggregates.
+	Slot int
+}
+
+// Eval implements expr.Expr. The planner must rewrite AggExprs away before
+// evaluation; reaching Eval is a bug.
+func (a *AggExpr) Eval(expr.Row) (storage.Value, error) {
+	return storage.Value{}, fmt.Errorf("sqlparse: unplanned aggregate %s", a)
+}
+
+// Type implements expr.Expr.
+func (a *AggExpr) Type() storage.Type {
+	switch a.Func {
+	case AggCount:
+		return storage.TypeInt64
+	case AggAvg, AggPercentile:
+		return storage.TypeFloat64
+	case AggMin, AggMax:
+		if a.Arg != nil {
+			return a.Arg.Type()
+		}
+		return storage.TypeFloat64
+	default:
+		if a.Arg != nil && a.Arg.Type() == storage.TypeInt64 {
+			return storage.TypeInt64
+		}
+		return storage.TypeFloat64
+	}
+}
+
+// String implements expr.Expr.
+func (a *AggExpr) String() string {
+	arg := "*"
+	if !a.Star && a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	if a.Distinct {
+		arg = "DISTINCT " + arg
+	}
+	if a.Func == AggPercentile {
+		return fmt.Sprintf("%s(%s, %g)", a.Func, arg, a.Param)
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, arg)
+}
+
+// Walk implements expr.Expr.
+func (a *AggExpr) Walk(f func(expr.Expr)) {
+	f(a)
+	if a.Arg != nil {
+		a.Arg.Walk(f)
+	}
+}
+
+// SelectItem is one output column of the query.
+type SelectItem struct {
+	Expr  expr.Expr // may contain AggExpr nodes
+	Alias string
+}
+
+// Name returns the display name of the item.
+func (s SelectItem) Name(i int) string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if s.Expr != nil {
+		return s.Expr.String()
+	}
+	return fmt.Sprintf("col%d", i)
+}
+
+// TableSample is a parsed TABLESAMPLE clause.
+type TableSample struct {
+	Spec sample.Spec
+}
+
+// TableRef names a table in FROM, optionally aliased and sampled.
+type TableRef struct {
+	Name   string
+	Alias  string
+	Sample *TableSample
+}
+
+// Label returns the alias if set, else the table name.
+func (t TableRef) Label() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is an INNER JOIN with an ON condition.
+type JoinClause struct {
+	Table TableRef
+	On    expr.Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// ErrorClause is the AQP extension: WITH ERROR e [%] CONFIDENCE c [%].
+type ErrorClause struct {
+	RelError   float64 // e.g. 0.05
+	Confidence float64 // e.g. 0.95
+}
+
+// SelectStmt is the parsed query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    TableRef
+	Joins   []JoinClause
+	Where   expr.Expr
+	GroupBy []expr.Expr
+	Having  expr.Expr
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+	Error   *ErrorClause
+}
+
+// Aggregates returns all AggExpr nodes in the select items and HAVING
+// clause, in traversal order, assigning Slot numbers as a side effect.
+func (s *SelectStmt) Aggregates() []*AggExpr {
+	var aggs []*AggExpr
+	collect := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		e.Walk(func(n expr.Expr) {
+			if a, ok := n.(*AggExpr); ok {
+				a.Slot = len(aggs)
+				aggs = append(aggs, a)
+			}
+		})
+	}
+	for _, it := range s.Items {
+		collect(it.Expr)
+	}
+	collect(s.Having)
+	return aggs
+}
+
+// HasAggregates reports whether the query contains any aggregate call.
+func (s *SelectStmt) HasAggregates() bool {
+	found := false
+	for _, it := range s.Items {
+		if it.Expr == nil {
+			continue
+		}
+		it.Expr.Walk(func(n expr.Expr) {
+			if _, ok := n.(*AggExpr); ok {
+				found = true
+			}
+		})
+	}
+	return found
+}
+
+// Tables returns all referenced table names, base first.
+func (s *SelectStmt) Tables() []string {
+	out := []string{s.From.Name}
+	for _, j := range s.Joins {
+		out = append(out, j.Table.Name)
+	}
+	return out
+}
+
+// String renders the statement back to SQL (canonicalized).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM " + s.From.Name)
+	if s.From.Sample != nil {
+		b.WriteString(" TABLESAMPLE " + s.From.Sample.Spec.String())
+	}
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN " + j.Table.Name)
+		if j.Table.Sample != nil {
+			b.WriteString(" TABLESAMPLE " + j.Table.Sample.Spec.String())
+		}
+		b.WriteString(" ON " + j.On.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Error != nil {
+		fmt.Fprintf(&b, " WITH ERROR %g%% CONFIDENCE %g%%", s.Error.RelError*100, s.Error.Confidence*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+// Package sqlparse implements a lexer and recursive-descent parser for the
+// SQL subset supported by the engine: single-block aggregation queries
+// with joins, filters, grouping, ordering, TABLESAMPLE clauses, and the
+// AQP extension `WITH ERROR e% CONFIDENCE c%`.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; idents keep original case
+	Pos  int    // byte offset in the input
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "BETWEEN": true, "JOIN": true,
+	"INNER": true, "ON": true, "ASC": true, "DESC": true, "DISTINCT": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"PERCENTILE":  true,
+	"TABLESAMPLE": true, "BERNOULLI": true, "SYSTEM": true, "UNIVERSE": true,
+	"BILEVEL": true,
+	"WITH":    true, "ERROR": true, "CONFIDENCE": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "LIKE": true, "IS": true,
+}
+
+// Lex tokenizes input, returning all tokens including a trailing EOF.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			seenDot := false
+			for i < n {
+				ch := input[i]
+				if ch >= '0' && ch <= '9' {
+					i++
+					continue
+				}
+				if ch == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				if (ch == 'e' || ch == 'E') && i+1 < n &&
+					(input[i+1] >= '0' && input[i+1] <= '9' || input[i+1] == '-' || input[i+1] == '+') {
+					i += 2
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlparse: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		default:
+			start := i
+			// Multi-char operators first.
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, Token{Kind: TokSymbol, Text: two, Pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '+', '-', '*', '/', '%', '=', '<', '>', ';', '.':
+				toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Bootstrap computes a percentile-bootstrap confidence interval for an
+// arbitrary statistic of a sample. data is the observed sample; stat maps a
+// resample to the statistic of interest; reps is the number of bootstrap
+// resamples (500–2000 is typical).
+func Bootstrap(rng *rand.Rand, data []float64, stat func([]float64) float64,
+	reps int, confidence float64) Interval {
+	if len(data) == 0 || reps <= 0 {
+		return Interval{Confidence: confidence}
+	}
+	ests := make([]float64, reps)
+	buf := make([]float64, len(data))
+	for r := 0; r < reps; r++ {
+		for i := range buf {
+			buf[i] = data[rng.Intn(len(data))]
+		}
+		ests[r] = stat(buf)
+	}
+	sort.Float64s(ests)
+	alpha := (1 - confidence) / 2
+	lo := ests[clampIndex(int(alpha*float64(reps)), reps)]
+	hi := ests[clampIndex(int((1-alpha)*float64(reps)), reps)]
+	return Interval{Lo: lo, Hi: hi, Confidence: confidence}
+}
+
+// BootstrapWeighted is Bootstrap for weighted samples: each resampled
+// element keeps its weight, and stat receives parallel value/weight slices.
+func BootstrapWeighted(rng *rand.Rand, data, weights []float64,
+	stat func(vals, ws []float64) float64, reps int, confidence float64) Interval {
+	if len(data) == 0 || reps <= 0 || len(data) != len(weights) {
+		return Interval{Confidence: confidence}
+	}
+	ests := make([]float64, reps)
+	bufV := make([]float64, len(data))
+	bufW := make([]float64, len(data))
+	for r := 0; r < reps; r++ {
+		for i := range bufV {
+			j := rng.Intn(len(data))
+			bufV[i] = data[j]
+			bufW[i] = weights[j]
+		}
+		ests[r] = stat(bufV, bufW)
+	}
+	sort.Float64s(ests)
+	alpha := (1 - confidence) / 2
+	lo := ests[clampIndex(int(alpha*float64(reps)), reps)]
+	hi := ests[clampIndex(int((1-alpha)*float64(reps)), reps)]
+	return Interval{Lo: lo, Hi: hi, Confidence: confidence}
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// HTSum is a convenience statistic for BootstrapWeighted: the
+// Horvitz–Thompson sum Σ wᵢxᵢ.
+func HTSum(vals, ws []float64) float64 {
+	var s float64
+	for i, v := range vals {
+		s += v * ws[i]
+	}
+	return s
+}
+
+// Mean is a convenience statistic for Bootstrap.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}

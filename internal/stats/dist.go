@@ -1,0 +1,274 @@
+// Package stats provides the statistical machinery for approximate query
+// processing: distribution quantiles, Horvitz–Thompson estimators,
+// closed-form variances under Bernoulli and stratified sampling, CLT and
+// bootstrap confidence intervals, group-coverage probabilities, and
+// relative-error propagation rules for composite aggregates.
+package stats
+
+import "math"
+
+// NormalCDF returns P(Z <= x) for a standard normal Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns the p-th quantile of the standard normal
+// distribution using the Acklam rational approximation (|relative error|
+// < 1.15e-9 over p in (0,1)).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [...]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [...]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	c := [...]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [...]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One step of Halley refinement using the exact CDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// logGamma returns ln Γ(x) via the Lanczos approximation.
+func logGamma(x float64) float64 {
+	lg, _ := math.Lgamma(x)
+	return lg
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	ln := logGamma(a+b) - logGamma(a) - logGamma(b) +
+		a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func betacf(a, b, x float64) float64 {
+	const maxIter = 300
+	const eps = 3e-14
+	const fpmin = 1e-300
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// StudentTCDF returns P(T <= x) for Student's t with df degrees of freedom.
+func StudentTCDF(x, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	p := 0.5 * regIncBeta(df/2, 0.5, df/(df+x*x))
+	if x > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// StudentTQuantile returns the p-th quantile of Student's t with df degrees
+// of freedom, via bisection on the CDF (the CDF is exact to ~1e-12, so 80
+// bisection steps give full double precision for practical purposes).
+func StudentTQuantile(p, df float64) float64 {
+	if df <= 0 || p <= 0 || p >= 1 {
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		if p >= 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	if df > 1e6 {
+		return NormalQuantile(p)
+	}
+	lo, hi := -1e3, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+math.Abs(lo)) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ChiSquareQuantile returns the p-th quantile of the chi-squared
+// distribution with df degrees of freedom using the Wilson–Hilferty
+// approximation refined by bisection on the regularized gamma CDF.
+func ChiSquareQuantile(p, df float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Wilson–Hilferty starting point.
+	z := NormalQuantile(p)
+	x := df * math.Pow(1-2/(9*df)+z*math.Sqrt(2/(9*df)), 3)
+	if x < 0 {
+		x = 0
+	}
+	lo, hi := 0.0, math.Max(4*x+10*df, 100)
+	for gammaCDF(hi, df/2) < p {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if gammaCDF(mid, df/2) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+lo) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// gammaCDF returns P(X <= x) for X ~ chi-squared with 2k degrees of
+// freedom, i.e. the regularized lower incomplete gamma P(k, x/2).
+func gammaCDF(x, k float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regLowerGamma(k, x/2)
+}
+
+// regLowerGamma computes P(a, x), the regularized lower incomplete gamma
+// function, by series for x < a+1 and by continued fraction otherwise.
+func regLowerGamma(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-logGamma(a))
+	}
+	// Continued fraction for Q(a,x), then P = 1-Q.
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-logGamma(a)) * h
+	return 1 - q
+}

@@ -1,0 +1,216 @@
+package stats
+
+import "math"
+
+// Interval is a two-sided confidence interval around an estimate.
+type Interval struct {
+	Lo, Hi     float64
+	Confidence float64
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// HalfWidth returns half the interval width.
+func (iv Interval) HalfWidth() float64 { return iv.Width() / 2 }
+
+// Contains reports whether x lies inside the interval (inclusive).
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// RelHalfWidth returns the half width relative to the estimate magnitude.
+func (iv Interval) RelHalfWidth(estimate float64) float64 {
+	if estimate == 0 {
+		if iv.Width() == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return iv.HalfWidth() / math.Abs(estimate)
+}
+
+// Moments is a Welford accumulator for (optionally weighted) means and
+// variances. The zero value is ready to use.
+type Moments struct {
+	n    float64 // count of observations
+	w    float64 // total weight
+	mean float64 // weighted mean
+	m2   float64 // weighted sum of squared deviations
+}
+
+// Add accumulates an unweighted observation.
+func (m *Moments) Add(x float64) { m.AddWeighted(x, 1) }
+
+// AddWeighted accumulates an observation with weight w > 0.
+func (m *Moments) AddWeighted(x, w float64) {
+	if w <= 0 {
+		return
+	}
+	m.n++
+	m.w += w
+	d := x - m.mean
+	m.mean += (w / m.w) * d
+	m.m2 += w * d * (x - m.mean)
+}
+
+// Count returns the number of observations.
+func (m *Moments) Count() float64 { return m.n }
+
+// Weight returns the total accumulated weight.
+func (m *Moments) Weight() float64 { return m.w }
+
+// Mean returns the weighted mean.
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the weighted population variance.
+func (m *Moments) Variance() float64 {
+	if m.w == 0 {
+		return 0
+	}
+	return m.m2 / m.w
+}
+
+// SampleVariance returns the bias-corrected sample variance (unweighted
+// correction n/(n-1) applied to the weighted population variance).
+func (m *Moments) SampleVariance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.Variance() * m.n / (m.n - 1)
+}
+
+// StdDev returns the square root of SampleVariance.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.SampleVariance()) }
+
+// Merge combines another accumulator into m.
+func (m *Moments) Merge(o Moments) {
+	if o.w == 0 {
+		return
+	}
+	if m.w == 0 {
+		*m = o
+		return
+	}
+	w := m.w + o.w
+	d := o.mean - m.mean
+	m.mean += d * o.w / w
+	m.m2 += o.m2 + d*d*m.w*o.w/w
+	m.w = w
+	m.n += o.n
+}
+
+// HTEstimator accumulates a Horvitz–Thompson estimate of a population SUM
+// from a without-replacement sample where row i was included with
+// probability 1/weight(i). For each sampled row call Add(x, w) with
+// w = 1/π_i. The variance estimator assumes independent inclusions
+// (Poisson/Bernoulli sampling), which matches every sampler in this
+// repository:
+//
+//	Var̂(Ŝ) = Σ_sampled w_i (w_i - 1) x_i²
+//
+// Rows included with certainty (w=1, e.g. rare strata kept whole by the
+// distinct sampler) contribute zero variance, as they should.
+type HTEstimator struct {
+	sum    float64 // Σ w x  — the HT point estimate
+	varSum float64 // Σ w (w-1) x²
+	n      float64 // sampled rows
+	wTot   float64 // Σ w — HT estimate of population size
+	w2Tot  float64 // Σ w (w-1) — variance of the COUNT estimate
+	covsn  float64 // Σ w (w-1) x — Cov(Ŝ, N̂) under independent inclusion
+}
+
+// Add accumulates one sampled row with value x and weight w = 1/π.
+func (h *HTEstimator) Add(x, w float64) {
+	h.sum += w * x
+	h.varSum += w * (w - 1) * x * x
+	h.n++
+	h.wTot += w
+	h.w2Tot += w * (w - 1)
+	h.covsn += w * (w - 1) * x
+}
+
+// N returns the number of sampled rows observed.
+func (h *HTEstimator) N() float64 { return h.n }
+
+// Sum returns the HT point estimate of the population sum.
+func (h *HTEstimator) Sum() float64 { return h.sum }
+
+// Count returns the HT point estimate of the population row count.
+func (h *HTEstimator) Count() float64 { return h.wTot }
+
+// SumVariance returns the estimated variance of Sum().
+func (h *HTEstimator) SumVariance() float64 { return h.varSum }
+
+// CountVariance returns the estimated variance of Count().
+func (h *HTEstimator) CountVariance() float64 { return h.w2Tot }
+
+// Mean returns the ratio (Hájek) estimate of the population mean.
+func (h *HTEstimator) Mean() float64 {
+	if h.wTot == 0 {
+		return 0
+	}
+	return h.sum / h.wTot
+}
+
+// MeanVariance estimates the variance of Mean() by the delta method for a
+// ratio of two correlated HT estimators. With R = S/N:
+//
+//	Var(R) ≈ (Var(S) - 2R Cov(S,N) + R² Var(N)) / N²
+//
+// where, under independent inclusions, Cov(Ŝ, N̂) = Σ w(w-1) x.
+func (h *HTEstimator) MeanVariance() float64 {
+	if h.wTot == 0 {
+		return 0
+	}
+	r := h.Mean()
+	v := h.varSum - 2*r*h.covsn + r*r*h.w2Tot
+	if v < 0 {
+		v = 0
+	}
+	return v / (h.wTot * h.wTot)
+}
+
+// SumInterval returns a CLT confidence interval for the population sum.
+func (h *HTEstimator) SumInterval(confidence float64) Interval {
+	return cltInterval(h.sum, h.varSum, h.n, confidence)
+}
+
+// CountInterval returns a CLT confidence interval for the population count.
+func (h *HTEstimator) CountInterval(confidence float64) Interval {
+	return cltInterval(h.wTot, h.w2Tot, h.n, confidence)
+}
+
+// MeanInterval returns a CLT confidence interval for the population mean.
+func (h *HTEstimator) MeanInterval(confidence float64) Interval {
+	return cltInterval(h.Mean(), h.MeanVariance(), h.n, confidence)
+}
+
+// CLTInterval builds an estimate ± t·σ interval from an estimate, its
+// variance, and the contributing sample size, using Student's t for small
+// samples and the normal for large ones.
+func CLTInterval(est, variance, n, confidence float64) Interval {
+	return cltInterval(est, variance, n, confidence)
+}
+
+// cltInterval builds an estimate ± t·σ interval, using Student's t for
+// small samples and the normal for large ones.
+func cltInterval(est, variance, n, confidence float64) Interval {
+	if variance < 0 {
+		variance = 0
+	}
+	sd := math.Sqrt(variance)
+	var q float64
+	p := 1 - (1-confidence)/2
+	if n >= 2 && n < 200 {
+		q = StudentTQuantile(p, n-1)
+	} else {
+		q = NormalQuantile(p)
+	}
+	if n < 2 {
+		// One observation: no variance information; widen maximally.
+		q = NormalQuantile(p)
+		if sd == 0 && est != 0 {
+			sd = math.Abs(est)
+		}
+	}
+	return Interval{Lo: est - q*sd, Hi: est + q*sd, Confidence: confidence}
+}

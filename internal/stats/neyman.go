@@ -1,0 +1,87 @@
+package stats
+
+// NeymanAllocation computes the optimal (variance-minimizing) allocation
+// of a fixed sample budget across strata for estimating a population
+// total/mean: n_h ∝ N_h·S_h, where N_h is the stratum size and S_h its
+// standard deviation. Strata with zero spread get the minimum allocation
+// (they need a single representative row).
+//
+// The returned allocations are clamped to [min(1, N_h), N_h] and then
+// re-normalized greedily so that Σ n_h ≤ total whenever total ≥ #strata.
+func NeymanAllocation(sizes, stddevs []float64, total float64) []float64 {
+	k := len(sizes)
+	if k == 0 || len(stddevs) != k {
+		return nil
+	}
+	out := make([]float64, k)
+	var denom float64
+	for h := 0; h < k; h++ {
+		denom += sizes[h] * stddevs[h]
+	}
+	if denom <= 0 {
+		// All strata constant: spread the budget evenly.
+		per := total / float64(k)
+		for h := range out {
+			out[h] = clampAlloc(per, sizes[h])
+		}
+		return out
+	}
+	for h := 0; h < k; h++ {
+		out[h] = clampAlloc(total*sizes[h]*stddevs[h]/denom, sizes[h])
+	}
+	// Clamping can leave unused budget (strata capped at N_h) — greedily
+	// hand the remainder to uncapped strata in proportion. One pass is
+	// enough for practical inputs; repeated passes converge.
+	for pass := 0; pass < 4; pass++ {
+		var used, head float64
+		for h := 0; h < k; h++ {
+			used += out[h]
+			if out[h] < sizes[h] {
+				head += sizes[h] * stddevs[h]
+			}
+		}
+		spare := total - used
+		if spare <= 0.5 || head <= 0 {
+			break
+		}
+		for h := 0; h < k; h++ {
+			if out[h] < sizes[h] {
+				out[h] = clampAlloc(out[h]+spare*sizes[h]*stddevs[h]/head, sizes[h])
+			}
+		}
+	}
+	return out
+}
+
+func clampAlloc(x, size float64) float64 {
+	if size < 1 {
+		return size
+	}
+	if x < 1 {
+		return 1
+	}
+	if x > size {
+		return size
+	}
+	return x
+}
+
+// StratifiedTotalVariance returns the variance of the stratified estimator
+// of the population total under per-stratum SRS with allocations n_h:
+//
+//	Var = Σ N_h² (1 - n_h/N_h) S_h² / n_h
+func StratifiedTotalVariance(sizes, stddevs, alloc []float64) float64 {
+	var v float64
+	for h := range sizes {
+		n := alloc[h]
+		if n <= 0 {
+			n = 1
+		}
+		fpc := 1 - n/sizes[h]
+		if fpc < 0 {
+			fpc = 0
+		}
+		v += sizes[h] * sizes[h] * fpc * stddevs[h] * stddevs[h] / n
+	}
+	return v
+}

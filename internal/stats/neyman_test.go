@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNeymanAllocationProportional(t *testing.T) {
+	// Two strata, equal size, one with 3x the spread: allocation 3:1.
+	sizes := []float64{1000, 1000}
+	devs := []float64{3, 1}
+	a := NeymanAllocation(sizes, devs, 400)
+	if math.Abs(a[0]-300) > 1 || math.Abs(a[1]-100) > 1 {
+		t.Errorf("allocation = %v, want ~[300 100]", a)
+	}
+}
+
+func TestNeymanAllocationClamping(t *testing.T) {
+	// A tiny stratum cannot absorb its proportional share; the spare
+	// budget flows to the others.
+	sizes := []float64{10, 10000}
+	devs := []float64{100, 1}
+	a := NeymanAllocation(sizes, devs, 2000)
+	if a[0] != 10 {
+		t.Errorf("tiny stratum must cap at its size: %v", a)
+	}
+	if a[1] < 1500 {
+		t.Errorf("spare budget should flow to the big stratum: %v", a)
+	}
+	total := a[0] + a[1]
+	if total > 2000+1 {
+		t.Errorf("allocation exceeds budget: %v", total)
+	}
+}
+
+func TestNeymanAllocationConstantStrata(t *testing.T) {
+	// All-zero spread: even split, respecting sizes.
+	a := NeymanAllocation([]float64{100, 100, 2}, []float64{0, 0, 0}, 90)
+	if a[2] != 2 {
+		t.Errorf("constant stratum of size 2 takes 2: %v", a)
+	}
+	if math.Abs(a[0]-30) > 1 || math.Abs(a[1]-30) > 1 {
+		t.Errorf("even split expected: %v", a)
+	}
+	// Zero-spread strata still get at least one representative.
+	b := NeymanAllocation([]float64{100, 100}, []float64{0, 5}, 50)
+	if b[0] < 1 {
+		t.Errorf("zero-spread stratum needs a representative: %v", b)
+	}
+}
+
+func TestNeymanBeatsEqualAllocation(t *testing.T) {
+	// Variance under Neyman allocation is never worse than equal split.
+	f := func(s1, s2, s3, d1, d2, d3 uint8) bool {
+		sizes := []float64{float64(s1%50)*20 + 100, float64(s2%50)*20 + 100, float64(s3%50)*20 + 100}
+		devs := []float64{float64(d1 % 20), float64(d2 % 20), float64(d3 % 20)}
+		budget := 150.0
+		ney := NeymanAllocation(sizes, devs, budget)
+		eq := []float64{budget / 3, budget / 3, budget / 3}
+		for h := range eq {
+			if eq[h] > sizes[h] {
+				eq[h] = sizes[h]
+			}
+		}
+		vNey := StratifiedTotalVariance(sizes, devs, ney)
+		vEq := StratifiedTotalVariance(sizes, devs, eq)
+		return vNey <= vEq*1.000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeymanDegenerate(t *testing.T) {
+	if NeymanAllocation(nil, nil, 10) != nil {
+		t.Error("empty input")
+	}
+	if NeymanAllocation([]float64{1}, []float64{1, 2}, 10) != nil {
+		t.Error("length mismatch")
+	}
+}
+
+func TestStratifiedTotalVariance(t *testing.T) {
+	// Full enumeration of every stratum: zero variance.
+	sizes := []float64{10, 20}
+	devs := []float64{5, 3}
+	v := StratifiedTotalVariance(sizes, devs, []float64{10, 20})
+	if v != 0 {
+		t.Errorf("census variance = %v", v)
+	}
+	// Halving the allocation increases variance.
+	v1 := StratifiedTotalVariance(sizes, devs, []float64{5, 10})
+	v2 := StratifiedTotalVariance(sizes, devs, []float64{2, 4})
+	if !(v2 > v1 && v1 > 0) {
+		t.Errorf("variance ordering: %v %v", v1, v2)
+	}
+}

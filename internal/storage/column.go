@@ -1,0 +1,205 @@
+package storage
+
+import "fmt"
+
+// Column is an append-only typed vector of values with optional NULLs.
+type Column interface {
+	// Type returns the column's element type.
+	Type() Type
+	// Len returns the number of rows stored.
+	Len() int
+	// Value returns the i-th value.
+	Value(i int) Value
+	// Append adds a value; it must match the column type or be NULL.
+	Append(v Value) error
+	// IsNull reports whether the i-th value is NULL.
+	IsNull(i int) bool
+}
+
+// NewColumn allocates an empty column of the given type.
+func NewColumn(t Type) Column {
+	switch t {
+	case TypeInt64:
+		return &Int64Column{}
+	case TypeFloat64:
+		return &Float64Column{}
+	case TypeString:
+		return &StringColumn{}
+	case TypeBool:
+		return &BoolColumn{}
+	default:
+		panic(fmt.Sprintf("storage: NewColumn of invalid type %v", t))
+	}
+}
+
+type nullmap []bool
+
+func (n nullmap) isNull(i int) bool { return n != nil && n[i] }
+
+func (n *nullmap) append(size int, null bool) {
+	if *n == nil {
+		if !null {
+			return
+		}
+		*n = make([]bool, size)
+	}
+	*n = append(*n, null)
+}
+
+// Int64Column stores 64-bit integers.
+type Int64Column struct {
+	data  []int64
+	nulls nullmap
+}
+
+// Type implements Column.
+func (c *Int64Column) Type() Type { return TypeInt64 }
+
+// Len implements Column.
+func (c *Int64Column) Len() int { return len(c.data) }
+
+// IsNull implements Column.
+func (c *Int64Column) IsNull(i int) bool { return c.nulls.isNull(i) }
+
+// Value implements Column.
+func (c *Int64Column) Value(i int) Value {
+	if c.nulls.isNull(i) {
+		return NullValue(TypeInt64)
+	}
+	return Int64(c.data[i])
+}
+
+// Int returns the raw int64 at i (0 for NULL).
+func (c *Int64Column) Int(i int) int64 { return c.data[i] }
+
+// Append implements Column.
+func (c *Int64Column) Append(v Value) error {
+	if v.IsNull() {
+		c.nulls.append(len(c.data), true)
+		c.data = append(c.data, 0)
+		return nil
+	}
+	if !v.Typ.Numeric() {
+		return fmt.Errorf("storage: append %v to BIGINT column", v.Typ)
+	}
+	c.nulls.append(len(c.data), false)
+	c.data = append(c.data, v.AsInt())
+	return nil
+}
+
+// Float64Column stores 64-bit floats.
+type Float64Column struct {
+	data  []float64
+	nulls nullmap
+}
+
+// Type implements Column.
+func (c *Float64Column) Type() Type { return TypeFloat64 }
+
+// Len implements Column.
+func (c *Float64Column) Len() int { return len(c.data) }
+
+// IsNull implements Column.
+func (c *Float64Column) IsNull(i int) bool { return c.nulls.isNull(i) }
+
+// Value implements Column.
+func (c *Float64Column) Value(i int) Value {
+	if c.nulls.isNull(i) {
+		return NullValue(TypeFloat64)
+	}
+	return Float64(c.data[i])
+}
+
+// Float returns the raw float64 at i (0 for NULL).
+func (c *Float64Column) Float(i int) float64 { return c.data[i] }
+
+// Append implements Column.
+func (c *Float64Column) Append(v Value) error {
+	if v.IsNull() {
+		c.nulls.append(len(c.data), true)
+		c.data = append(c.data, 0)
+		return nil
+	}
+	if !v.Typ.Numeric() {
+		return fmt.Errorf("storage: append %v to DOUBLE column", v.Typ)
+	}
+	c.nulls.append(len(c.data), false)
+	c.data = append(c.data, v.AsFloat())
+	return nil
+}
+
+// StringColumn stores strings.
+type StringColumn struct {
+	data  []string
+	nulls nullmap
+}
+
+// Type implements Column.
+func (c *StringColumn) Type() Type { return TypeString }
+
+// Len implements Column.
+func (c *StringColumn) Len() int { return len(c.data) }
+
+// IsNull implements Column.
+func (c *StringColumn) IsNull(i int) bool { return c.nulls.isNull(i) }
+
+// Value implements Column.
+func (c *StringColumn) Value(i int) Value {
+	if c.nulls.isNull(i) {
+		return NullValue(TypeString)
+	}
+	return Str(c.data[i])
+}
+
+// Append implements Column.
+func (c *StringColumn) Append(v Value) error {
+	if v.IsNull() {
+		c.nulls.append(len(c.data), true)
+		c.data = append(c.data, "")
+		return nil
+	}
+	if v.Typ != TypeString {
+		return fmt.Errorf("storage: append %v to VARCHAR column", v.Typ)
+	}
+	c.nulls.append(len(c.data), false)
+	c.data = append(c.data, v.S)
+	return nil
+}
+
+// BoolColumn stores booleans.
+type BoolColumn struct {
+	data  []bool
+	nulls nullmap
+}
+
+// Type implements Column.
+func (c *BoolColumn) Type() Type { return TypeBool }
+
+// Len implements Column.
+func (c *BoolColumn) Len() int { return len(c.data) }
+
+// IsNull implements Column.
+func (c *BoolColumn) IsNull(i int) bool { return c.nulls.isNull(i) }
+
+// Value implements Column.
+func (c *BoolColumn) Value(i int) Value {
+	if c.nulls.isNull(i) {
+		return NullValue(TypeBool)
+	}
+	return Bool(c.data[i])
+}
+
+// Append implements Column.
+func (c *BoolColumn) Append(v Value) error {
+	if v.IsNull() {
+		c.nulls.append(len(c.data), true)
+		c.data = append(c.data, false)
+		return nil
+	}
+	if v.Typ != TypeBool {
+		return fmt.Errorf("storage: append %v to BOOLEAN column", v.Typ)
+	}
+	c.nulls.append(len(c.data), false)
+	c.data = append(c.data, v.B)
+	return nil
+}

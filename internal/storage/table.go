@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultBlockSize is the number of rows per logical storage block. Block
+// sampling (TABLESAMPLE SYSTEM) selects whole blocks of this size.
+const DefaultBlockSize = 1024
+
+// ColumnDef describes one column of a table schema.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of column definitions.
+type Schema []ColumnDef
+
+// ColumnIndex returns the index of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Table is an append-only columnar table divided into fixed-size blocks.
+type Table struct {
+	name      string
+	schema    Schema
+	cols      []Column
+	blockSize int
+	rows      int
+	version   uint64 // bumped on every append batch; used for staleness
+	mu        sync.RWMutex
+}
+
+// NewTable creates an empty table with the given schema and the default
+// block size.
+func NewTable(name string, schema Schema) *Table {
+	return NewTableWithBlockSize(name, schema, DefaultBlockSize)
+}
+
+// NewTableWithBlockSize creates an empty table with an explicit block size.
+func NewTableWithBlockSize(name string, schema Schema, blockSize int) *Table {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	cols := make([]Column, len(schema))
+	for i, def := range schema {
+		cols[i] = NewColumn(def.Type)
+	}
+	return &Table{name: name, schema: schema.Clone(), cols: cols, blockSize: blockSize}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema (shared; do not mutate).
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// BlockSize returns the rows-per-block granularity.
+func (t *Table) BlockSize() int { return t.blockSize }
+
+// NumBlocks returns the number of (possibly partial) blocks.
+func (t *Table) NumBlocks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.rows == 0 {
+		return 0
+	}
+	return (t.rows + t.blockSize - 1) / t.blockSize
+}
+
+// Version returns a counter incremented on every AppendRow/AppendRows call;
+// offline sample catalogs use it to detect staleness.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// BlockBounds returns the half-open row range [lo, hi) of block b.
+func (t *Table) BlockBounds(b int) (lo, hi int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	lo = b * t.blockSize
+	hi = lo + t.blockSize
+	if hi > t.rows {
+		hi = t.rows
+	}
+	if lo > t.rows {
+		lo = t.rows
+	}
+	return lo, hi
+}
+
+// Column returns the i-th column.
+func (t *Table) Column(i int) Column { return t.cols[i] }
+
+// ColumnByName returns the named column, or nil.
+func (t *Table) ColumnByName(name string) Column {
+	i := t.schema.ColumnIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return t.cols[i]
+}
+
+// Row materializes row i as a slice of values.
+func (t *Table) Row(i int) []Value {
+	out := make([]Value, len(t.cols))
+	for c, col := range t.cols {
+		out[c] = col.Value(i)
+	}
+	return out
+}
+
+// AppendRow appends one row. The number of values must match the schema.
+func (t *Table) AppendRow(vals ...Value) error {
+	return t.AppendRows([][]Value{vals})
+}
+
+// AppendRows appends a batch of rows atomically with respect to readers of
+// NumRows and Version.
+func (t *Table) AppendRows(rows [][]Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, vals := range rows {
+		if len(vals) != len(t.cols) {
+			return fmt.Errorf("storage: table %s: row has %d values, schema has %d columns",
+				t.name, len(vals), len(t.cols))
+		}
+		for i, v := range vals {
+			if err := t.cols[i].Append(v); err != nil {
+				return fmt.Errorf("storage: table %s column %s: %w", t.name, t.schema[i].Name, err)
+			}
+		}
+		t.rows++
+	}
+	t.version++
+	return nil
+}
+
+// ColumnStats summarizes one column for planning and sampling decisions.
+type ColumnStats struct {
+	Name          string
+	Type          Type
+	NullCount     int
+	Min, Max      Value
+	DistinctCount int     // exact over scanned rows
+	Mean          float64 // numeric columns only
+	Variance      float64 // population variance, numeric columns only
+}
+
+// Stats computes column statistics with a full scan. It is intentionally
+// exact: the planner experiments need ground truth to compare against.
+func (t *Table) Stats(colName string) (ColumnStats, error) {
+	idx := t.schema.ColumnIndex(colName)
+	if idx < 0 {
+		return ColumnStats{}, fmt.Errorf("storage: table %s has no column %s", t.name, colName)
+	}
+	col := t.cols[idx]
+	st := ColumnStats{Name: colName, Type: col.Type()}
+	distinct := make(map[string]struct{})
+	var n float64
+	var mean, m2 float64
+	for i := 0; i < col.Len(); i++ {
+		if col.IsNull(i) {
+			st.NullCount++
+			continue
+		}
+		v := col.Value(i)
+		distinct[v.GroupKey()] = struct{}{}
+		if st.Min.IsNull() || v.Compare(st.Min) < 0 {
+			st.Min = v
+		}
+		if st.Max.IsNull() || v.Compare(st.Max) > 0 {
+			st.Max = v
+		}
+		if col.Type().Numeric() {
+			x := v.AsFloat()
+			n++
+			d := x - mean
+			mean += d / n
+			m2 += d * (x - mean)
+		}
+	}
+	st.DistinctCount = len(distinct)
+	if n > 0 {
+		st.Mean = mean
+		st.Variance = m2 / n
+	}
+	return st, nil
+}
+
+// Catalog is a named collection of tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table; replacing an existing table of the same name is an
+// error.
+func (c *Catalog) Add(t *Table) error {
+	return c.AddAs(t.Name(), t)
+}
+
+// AddAs registers a table under an explicit name, which may differ from
+// the table's own name. AQP engines use this to substitute a materialized
+// sample for a base table in a shadow catalog.
+func (c *Catalog) AddAs(name string, t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; ok {
+		return fmt.Errorf("storage: table %s already exists", name)
+	}
+	c.tables[name] = t
+	return nil
+}
+
+// Drop removes a table by name if present.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, name)
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
