@@ -22,6 +22,7 @@
 package aqp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -188,11 +189,17 @@ func (db *DB) Table(name string) (*Table, error) { return db.catalog.Table(name)
 
 // Query executes a query exactly.
 func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a context: scans observe cancellation and
+// deadlines, returning ctx.Err() when exceeded.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.exact.Execute(stmt, DefaultErrorSpec)
+	return db.exact.ExecuteContext(ctx, stmt, DefaultErrorSpec)
 }
 
 // QueryApprox routes a query through the advisor: offline samples when a
@@ -200,11 +207,18 @@ func (db *DB) Query(sql string) (*Result, error) {
 // sampling otherwise, exact when nothing else is defensible. A `WITH
 // ERROR e% CONFIDENCE c%` clause in the SQL overrides spec.
 func (db *DB) QueryApprox(sql string, spec ...ErrorSpec) (*Result, error) {
+	return db.QueryApproxContext(context.Background(), sql, spec...)
+}
+
+// QueryApproxContext is QueryApprox under a context. The advisor-chosen
+// engine observes cancellation; the OLA engine degrades gracefully,
+// returning its best progressive estimate at the deadline.
+func (db *DB) QueryApproxContext(ctx context.Context, sql string, spec ...ErrorSpec) (*Result, error) {
 	s := DefaultErrorSpec
 	if len(spec) > 0 {
 		s = spec[0]
 	}
-	res, dec, err := db.advisor.Execute(sql, s)
+	res, dec, err := db.advisor.ExecuteContext(ctx, sql, s)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +248,11 @@ func (db *DB) Advise(sql string, spec ...ErrorSpec) (Decision, error) {
 // when sampling was involved. This is the manual-control path for users
 // who place their own samplers.
 func (db *DB) QueryAsWritten(sql string, spec ...ErrorSpec) (*Result, error) {
+	return db.QueryAsWrittenContext(context.Background(), sql, spec...)
+}
+
+// QueryAsWrittenContext is QueryAsWritten under a context.
+func (db *DB) QueryAsWrittenContext(ctx context.Context, sql string, spec ...ErrorSpec) (*Result, error) {
 	s := DefaultErrorSpec
 	if len(spec) > 0 {
 		s = spec[0]
@@ -245,45 +264,69 @@ func (db *DB) QueryAsWritten(sql string, spec ...ErrorSpec) (*Result, error) {
 	if stmt.Error != nil {
 		s = ErrorSpec{RelError: stmt.Error.RelError, Confidence: stmt.Error.Confidence}
 	}
-	return core.ExecuteAsWritten(db.catalog, stmt, s)
+	return core.ExecuteAsWrittenContext(ctx, db.catalog, stmt, s)
 }
 
 // QueryOnline forces the query-time-sampling engine.
 func (db *DB) QueryOnline(sql string, spec ErrorSpec) (*Result, error) {
+	return db.QueryOnlineContext(context.Background(), sql, spec)
+}
+
+// QueryOnlineContext is QueryOnline under a context.
+func (db *DB) QueryOnlineContext(ctx context.Context, sql string, spec ErrorSpec) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.online.Execute(stmt, spec)
+	return db.online.ExecuteContext(ctx, stmt, spec)
 }
 
 // QueryOffline forces the offline-samples engine.
 func (db *DB) QueryOffline(sql string, spec ErrorSpec) (*Result, error) {
+	return db.QueryOfflineContext(context.Background(), sql, spec)
+}
+
+// QueryOfflineContext is QueryOffline under a context.
+func (db *DB) QueryOfflineContext(ctx context.Context, sql string, spec ErrorSpec) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.offline.Execute(stmt, spec)
+	return db.offline.ExecuteContext(ctx, stmt, spec)
 }
 
 // QueryOLA runs online aggregation to completion (or early stop per
 // config), ignoring intermediate checkpoints.
 func (db *DB) QueryOLA(sql string, spec ErrorSpec) (*Result, error) {
+	return db.QueryOLAContext(context.Background(), sql, spec)
+}
+
+// QueryOLAContext is QueryOLA under a context. Unlike the other engines,
+// OLA treats an expired deadline as a stopping rule, not an error: it
+// returns the best progressive estimate accumulated so far with its
+// a-posteriori interval.
+func (db *DB) QueryOLAContext(ctx context.Context, sql string, spec ErrorSpec) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ola.Execute(stmt, spec)
+	return db.ola.ExecuteContext(ctx, stmt, spec)
 }
 
 // QueryProgressive runs online aggregation, invoking observe at every
 // checkpoint; observe returning false stops the stream.
 func (db *DB) QueryProgressive(sql string, spec ErrorSpec, observe func(Progress) bool) (*Result, error) {
+	return db.QueryProgressiveContext(context.Background(), sql, spec, observe)
+}
+
+// QueryProgressiveContext is QueryProgressive under a context; deadline
+// expiry stops the stream like an observe returning false.
+func (db *DB) QueryProgressiveContext(ctx context.Context, sql string, spec ErrorSpec, observe func(Progress) bool) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ola.ExecuteProgressive(stmt, spec, observe)
+	return db.ola.ExecuteProgressiveContext(ctx, stmt, spec, observe)
 }
 
 // BuildOfflineSamples materializes the offline sample ladder for a table
@@ -329,6 +372,15 @@ func (db *DB) PropertyMatrix(probe []string, spec ErrorSpec) ([]core.TechniquePr
 
 // Explain renders the optimized logical plan of a query.
 func (db *DB) Explain(sql string) (string, error) {
+	return db.ExplainContext(context.Background(), sql)
+}
+
+// ExplainContext is Explain under a context. Planning is CPU-bound and
+// quick; the context is checked once before work begins.
+func (db *DB) ExplainContext(ctx context.Context, sql string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return "", err

@@ -5,26 +5,44 @@
 //
 //	aqpbench -exp E4              # one experiment
 //	aqpbench -exp all -rows 1000000 -trials 30
+//	aqpbench -exp E4 -json        # also write results/bench_E4.json
 //	aqpbench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// benchJSON is the machine-readable form of one experiment run.
+type benchJSON struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Rows      int        `json:"rows"`
+	Trials    int        `json:"trials"`
+	Seed      int64      `json:"seed"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Header    []string   `json:"header"`
+	Data      [][]string `json:"data"`
+	Notes     []string   `json:"notes,omitempty"`
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment ID (E1..E12) or 'all'")
-		rows   = flag.Int("rows", experiments.DefaultScale.Rows, "fact-table rows")
-		trials = flag.Int("trials", experiments.DefaultScale.Trials, "Monte-Carlo trials")
-		seed   = flag.Int64("seed", experiments.DefaultScale.Seed, "random seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment ID (E1..E12) or 'all'")
+		rows    = flag.Int("rows", experiments.DefaultScale.Rows, "fact-table rows")
+		trials  = flag.Int("trials", experiments.DefaultScale.Trials, "Monte-Carlo trials")
+		seed    = flag.Int64("seed", experiments.DefaultScale.Seed, "random seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.Bool("json", false, "also write each table to results/bench_<id>.json")
+		outDir  = flag.String("out", "results", "directory for -json output")
 	)
 	flag.Parse()
 
@@ -40,6 +58,12 @@ func main() {
 	if !strings.EqualFold(*exp, "all") {
 		ids = strings.Split(strings.ToUpper(*exp), ",")
 	}
+	if *jsonOut {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	for _, id := range ids {
 		start := time.Now()
 		tab, err := experiments.Run(id, scale)
@@ -47,7 +71,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "aqpbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(tab)
-		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %s)\n\n", id, elapsed.Round(time.Millisecond))
+		if *jsonOut {
+			if err := writeJSON(*outDir, tab, scale, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "aqpbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeJSON serializes one experiment table to <dir>/bench_<id>.json.
+func writeJSON(dir string, tab *experiments.Table, scale experiments.Scale, elapsed time.Duration) error {
+	out := benchJSON{
+		ID:        tab.ID,
+		Title:     tab.Title,
+		Rows:      scale.Rows,
+		Trials:    scale.Trials,
+		Seed:      scale.Seed,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+		Header:    tab.Header,
+		Data:      tab.Rows,
+		Notes:     tab.Notes,
+	}
+	path := filepath.Join(dir, fmt.Sprintf("bench_%s.json", tab.ID))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

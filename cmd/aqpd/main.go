@@ -1,0 +1,132 @@
+// Command aqpd serves an aqp.DB over HTTP/JSON: a concurrent
+// approximate-query service with admission control, per-request
+// deadlines, and metrics.
+//
+// Usage:
+//
+//	aqpd -gen 1000000                     # serve a synthetic star schema
+//	aqpd -load orders=orders.csv          # serve CSV tables (repeatable)
+//
+// Endpoints: POST /query, GET /tables, POST /samples/build,
+// GET /metrics, GET /healthz. See README.md for a curl quickstart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	aqp "repro"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// loadFlags collects repeated -load name=path.csv flags.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		gen        = flag.Int("gen", 0, "generate a synthetic star schema with this many fact rows")
+		genSkew    = flag.Float64("gen-skew", 0, "Zipf skew for the generated workload (0 = uniform)")
+		seed       = flag.Int64("seed", 1, "workload generator seed")
+		workers    = flag.Int("workers", 4, "max concurrently executing queries")
+		queueCap   = flag.Int("queue", 8, "max queries waiting for a worker before shedding")
+		defTimeout = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+		drainWait  = flag.Duration("drain", 30*time.Second, "max wait for in-flight queries at shutdown")
+		loads      loadFlags
+	)
+	flag.Var(&loads, "load", "load a CSV table as name=path.csv (repeatable; types inferred)")
+	flag.Parse()
+
+	db, err := buildDB(*gen, *genSkew, *seed, loads)
+	if err != nil {
+		log.Fatalf("aqpd: %v", err)
+	}
+	names := db.Catalog().Names()
+	if len(names) == 0 {
+		log.Fatalf("aqpd: no tables; use -gen N and/or -load name=path.csv")
+	}
+	for _, n := range names {
+		if t, err := db.Table(n); err == nil {
+			log.Printf("table %s: %d rows, %d columns", n, t.NumRows(), len(t.Schema()))
+		}
+	}
+
+	srv := server.New(db, server.Config{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("aqpd listening on %s (%d workers, queue %d, default timeout %s)",
+		*addr, *workers, *queueCap, *defTimeout)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("aqpd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("aqpd: shutdown requested, draining in-flight queries (up to %s)", *drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Stop admitting new queries first, then close listeners; queued and
+	// running queries finish inside the drain budget.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("aqpd: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("aqpd: http shutdown: %v", err)
+	}
+	log.Printf("aqpd: bye")
+}
+
+// buildDB assembles the catalog from the generator and/or CSV loads.
+func buildDB(gen int, skew float64, seed int64, loads loadFlags) (*aqp.DB, error) {
+	var db *aqp.DB
+	if gen > 0 {
+		star, err := workload.GenerateStar(workload.Config{
+			Seed: seed, LineitemRows: gen, Skew: skew,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("generate workload: %w", err)
+		}
+		db = aqp.Open(star.Catalog)
+	} else {
+		db = aqp.New()
+	}
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -load %q: want name=path.csv", spec)
+		}
+		if _, err := server.LoadCSVFile(db, name, path); err != nil {
+			return nil, fmt.Errorf("load %s: %w", spec, err)
+		}
+	}
+	return db, nil
+}

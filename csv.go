@@ -50,8 +50,10 @@ func (db *DB) LoadCSV(name string, schema Schema, r io.Reader) (*Table, error) {
 	return t, nil
 }
 
-// DumpTableCSV writes an entire table as CSV with a header row.
+// DumpTableCSV writes an entire table as CSV with a header row. It dumps
+// a snapshot, so it is safe under concurrent appends.
 func DumpTableCSV(w io.Writer, t *Table) error {
+	t = t.Snapshot()
 	cw := csv.NewWriter(w)
 	if err := cw.Write(t.Schema().Names()); err != nil {
 		return err

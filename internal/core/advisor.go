@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -70,7 +71,7 @@ func (a *Advisor) Choose(stmt *sqlparse.SelectStmt, spec ErrorSpec) Decision {
 }
 
 // certifiedSample returns a fresh stored sample certified for the query
-// under the spec, or nil.
+// under the spec, or nil. It reads the offline registry under its lock.
 func (a *Advisor) certifiedSample(stmt *sqlparse.SelectStmt, spec ErrorSpec) *StoredSample {
 	if a.Offline == nil {
 		return nil
@@ -78,7 +79,9 @@ func (a *Advisor) certifiedSample(stmt *sqlparse.SelectStmt, spec ErrorSpec) *St
 	table := stmt.From.Name
 	qcs := a.Offline.queryQCS(stmt)
 	key := profileKey(table, qcs)
-	for _, s := range a.Offline.Samples(table) {
+	a.Offline.mu.RLock()
+	defer a.Offline.mu.RUnlock()
+	for _, s := range a.Offline.samples[table] {
 		if !a.Offline.applicable(s, stmt, qcs) || !s.Fresh(a.Offline.Catalog) {
 			continue
 		}
@@ -91,6 +94,12 @@ func (a *Advisor) certifiedSample(stmt *sqlparse.SelectStmt, spec ErrorSpec) *St
 
 // Execute parses, routes, and runs a query.
 func (a *Advisor) Execute(sql string, spec ErrorSpec) (*Result, Decision, error) {
+	return a.ExecuteContext(context.Background(), sql, spec)
+}
+
+// ExecuteContext parses, routes, and runs a query under a context: the
+// chosen engine observes cancellation and deadlines.
+func (a *Advisor) ExecuteContext(ctx context.Context, sql string, spec ErrorSpec) (*Result, Decision, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, Decision{}, err
@@ -102,13 +111,13 @@ func (a *Advisor) Execute(sql string, spec ErrorSpec) (*Result, Decision, error)
 	var res *Result
 	switch d.Technique {
 	case TechniqueSynopsis:
-		res, err = a.Synopsis.Execute(stmt, spec)
+		res, err = a.Synopsis.ExecuteContext(ctx, stmt, spec)
 	case TechniqueOffline:
-		res, err = a.Offline.Execute(stmt, spec)
+		res, err = a.Offline.ExecuteContext(ctx, stmt, spec)
 	case TechniqueOnline:
-		res, err = a.Online.Execute(stmt, spec)
+		res, err = a.Online.ExecuteContext(ctx, stmt, spec)
 	default:
-		res, err = a.Exact.Execute(stmt, spec)
+		res, err = a.Exact.ExecuteContext(ctx, stmt, spec)
 	}
 	if err != nil {
 		return nil, d, err

@@ -120,6 +120,10 @@ type Diagnostics struct {
 	SpecSatisfied bool
 	// Stale reports that an offline sample was out of date.
 	Stale bool
+	// Partial reports that execution was cut short by a deadline or
+	// cancellation and the result is the best estimate accumulated so
+	// far (online aggregation's graceful degradation).
+	Partial bool
 	// Messages carries human-readable engine notes.
 	Messages []string
 }

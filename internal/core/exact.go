@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/exec"
@@ -26,13 +27,19 @@ func (e *ExactEngine) Name() Technique { return TechniqueExact }
 // Execute implements Engine. Any TABLESAMPLE clauses in the statement are
 // stripped: exact means exact.
 func (e *ExactEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+	return e.ExecuteContext(context.Background(), stmt, spec)
+}
+
+// ExecuteContext is Execute under a context: scans observe cancellation
+// and deadlines, aborting with ctx.Err().
+func (e *ExactEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
 	start := time.Now()
 	p, err := plan.Build(stmt, e.Catalog)
 	if err != nil {
 		return nil, err
 	}
 	plan.ClearSamplers(p)
-	res, err := exec.Run(p)
+	res, err := exec.RunContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -46,6 +53,11 @@ func (e *ExactEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Resul
 // verbatim: the manual path for users who place samplers themselves. The
 // result carries a-posteriori intervals when any sampler was present.
 func ExecuteAsWritten(cat *storage.Catalog, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+	return ExecuteAsWrittenContext(context.Background(), cat, stmt, spec)
+}
+
+// ExecuteAsWrittenContext is ExecuteAsWritten under a context.
+func ExecuteAsWrittenContext(ctx context.Context, cat *storage.Catalog, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
 	start := time.Now()
 	p, err := plan.Build(stmt, cat)
 	if err != nil {
@@ -57,7 +69,7 @@ func ExecuteAsWritten(cat *storage.Catalog, stmt *sqlparse.SelectStmt, spec Erro
 			sampled = true
 		}
 	}
-	res, err := exec.Run(p)
+	res, err := exec.RunContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}

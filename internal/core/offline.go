@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/exec"
@@ -116,6 +118,10 @@ type OfflineEngine struct {
 	Catalog *storage.Catalog
 	Config  OfflineConfig
 
+	// mu guards the sample registry, profiles, Maintenance stats, and
+	// nextID: queries read the registry concurrently; BuildSamples,
+	// Rebuild, and ProfileQuery write it.
+	mu          sync.RWMutex
 	samples     map[string][]*StoredSample // by source table
 	Maintenance MaintenanceStats
 	nextID      int
@@ -134,8 +140,21 @@ func NewOfflineEngine(cat *storage.Catalog, cfg OfflineConfig) *OfflineEngine {
 // Name implements Engine.
 func (e *OfflineEngine) Name() Technique { return TechniqueOffline }
 
-// Samples returns the stored samples for a table.
-func (e *OfflineEngine) Samples(table string) []*StoredSample { return e.samples[table] }
+// Samples returns the stored samples for a table (a copied slice; the
+// stored samples themselves are shared).
+func (e *OfflineEngine) Samples(table string) []*StoredSample {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]*StoredSample(nil), e.samples[table]...)
+}
+
+// MaintenanceStats returns a copy of the cumulative maintenance stats
+// under the engine lock.
+func (e *OfflineEngine) MaintenanceStats() MaintenanceStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.Maintenance
+}
 
 // BuildSamples materializes the configured sample ladder for a table:
 // one stratified sample per (QCS, cap) pair plus uniform samples at the
@@ -146,6 +165,8 @@ func (e *OfflineEngine) BuildSamples(table string, qcsList [][]string) error {
 	if err != nil {
 		return err
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	start := time.Now()
 	for _, qcs := range qcsList {
 		if len(qcs) == 0 {
@@ -197,6 +218,13 @@ func (e *OfflineEngine) store(s *StoredSample) {
 // Rebuild refreshes every sample of a table against its current contents,
 // accumulating maintenance cost.
 func (e *OfflineEngine) Rebuild(table string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rebuildLocked(table)
+}
+
+// rebuildLocked is Rebuild with e.mu already held for writing.
+func (e *OfflineEngine) rebuildLocked(table string) error {
 	t, err := e.Catalog.Table(table)
 	if err != nil {
 		return err
@@ -251,7 +279,7 @@ func (e *OfflineEngine) ProfileQuery(sql string) error {
 		return err
 	}
 	table := stmt.From.Name
-	cands := e.samples[table]
+	cands := e.Samples(table)
 	if len(cands) == 0 {
 		return nil
 	}
@@ -265,7 +293,7 @@ func (e *OfflineEngine) ProfileQuery(sql string) error {
 		if !e.applicable(s, stmt, qcs) {
 			continue
 		}
-		raw, err := e.executeOn(s, stmt)
+		raw, err := e.executeOn(context.Background(), s, stmt)
 		if err != nil {
 			continue
 		}
@@ -274,9 +302,11 @@ func (e *OfflineEngine) ProfileQuery(sql string) error {
 		if !comparable {
 			relErr = 1
 		}
+		e.mu.Lock()
 		if prev, ok := s.Profile[key]; !ok || relErr > prev {
 			s.Profile[key] = relErr
 		}
+		e.mu.Unlock()
 	}
 	return nil
 }
@@ -350,7 +380,13 @@ func (e *OfflineEngine) applicable(s *StoredSample, stmt *sqlparse.SelectStmt, q
 
 // executeOn runs the statement with the sample substituted for the fact
 // table via a shadow catalog.
-func (e *OfflineEngine) executeOn(s *StoredSample, stmt *sqlparse.SelectStmt) (*exec.Result, error) {
+func (e *OfflineEngine) executeOn(ctx context.Context, s *StoredSample, stmt *sqlparse.SelectStmt) (*exec.Result, error) {
+	// Rebuild swaps the sample's Data table wholesale; read the pointer
+	// under the lock and scan whichever build we got (each build is
+	// immutable once materialized).
+	e.mu.RLock()
+	data := s.Data
+	e.mu.RUnlock()
 	shadow := storage.NewCatalog()
 	for _, name := range e.Catalog.Names() {
 		if name == s.Source {
@@ -364,25 +400,75 @@ func (e *OfflineEngine) executeOn(s *StoredSample, stmt *sqlparse.SelectStmt) (*
 			return nil, err
 		}
 	}
-	if err := shadow.AddAs(s.Source, s.Data); err != nil {
+	if err := shadow.AddAs(s.Source, data); err != nil {
 		return nil, err
 	}
 	p, err := plan.Build(stmt, shadow)
 	if err != nil {
 		return nil, err
 	}
-	return exec.Run(p)
+	return exec.RunContext(ctx, p)
 }
 
 // Execute implements Engine: pick the cheapest fresh sample certified for
 // the spec, else fall back per configuration.
 func (e *OfflineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+	return e.ExecuteContext(context.Background(), stmt, spec)
+}
+
+// offlineCand is one certified candidate with the facts captured under
+// the registry lock, so later reporting needs no further locking.
+type offlineCand struct {
+	s     *StoredSample
+	stale bool
+	rows  int
+	name  string
+	prof  float64
+}
+
+// selectSample picks the cheapest applicable, profiled candidate under
+// the registry lock. wantRebuild reports that a stale candidate was seen
+// under the StaleRebuild policy (the caller rebuilds and reselects).
+func (e *OfflineEngine) selectSample(stmt *sqlparse.SelectStmt, spec ErrorSpec,
+	table string, qcs []string, key string) (best *offlineCand, wantRebuild bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, s := range e.samples[table] {
+		if !e.applicable(s, stmt, qcs) {
+			continue
+		}
+		prof, profiled := s.Profile[key]
+		if !profiled || prof*e.Config.SafetyFactor > spec.RelError {
+			continue
+		}
+		stale := !s.Fresh(e.Catalog)
+		if stale {
+			switch e.Config.StalePolicy {
+			case StaleFallbackExact:
+				continue
+			case StaleRebuild:
+				wantRebuild = true
+				continue
+			case StaleServe:
+				// Serve anyway, downgraded guarantee below.
+			}
+		}
+		if best == nil || s.Rows < best.rows {
+			best = &offlineCand{s: s, stale: stale, rows: s.Rows, name: s.Name, prof: prof}
+		}
+	}
+	return best, wantRebuild
+}
+
+// ExecuteContext is Execute under a context: the sample scan (and any
+// exact fallback) observes cancellation and deadlines.
+func (e *OfflineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
 	start := time.Now()
 	if !spec.Valid() {
 		spec = DefaultErrorSpec
 	}
 	fallback := func(reason string, stale bool) (*Result, error) {
-		res, err := NewExactEngine(e.Catalog).Execute(stmt, spec)
+		res, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -397,8 +483,7 @@ func (e *OfflineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Res
 		return fallback("fell back to exact: "+reason, false)
 	}
 	table := stmt.From.Name
-	cands := e.samples[table]
-	if len(cands) == 0 {
+	if len(e.Samples(table)) == 0 {
 		return fallback("no samples for table "+table, false)
 	}
 	qcs := e.queryQCS(stmt)
@@ -406,42 +491,20 @@ func (e *OfflineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Res
 
 	// Certified candidates: applicable, fresh (or policy-permitted), and
 	// profiled under the spec with the safety factor.
-	type cand struct {
-		s     *StoredSample
-		stale bool
-	}
-	var best *cand
-	for _, s := range cands {
-		if !e.applicable(s, stmt, qcs) {
-			continue
+	best, wantRebuild := e.selectSample(stmt, spec, table, qcs, key)
+	if wantRebuild {
+		// The maintenance cost the paper highlights, paid inline: refresh
+		// the whole table's ladder, then select again (nothing stale now).
+		if err := e.Rebuild(table); err != nil {
+			return nil, err
 		}
-		prof, profiled := s.Profile[key]
-		if !profiled || prof*e.Config.SafetyFactor > spec.RelError {
-			continue
-		}
-		stale := !s.Fresh(e.Catalog)
-		if stale {
-			switch e.Config.StalePolicy {
-			case StaleFallbackExact:
-				continue
-			case StaleRebuild:
-				if err := e.Rebuild(table); err != nil {
-					return nil, err
-				}
-				stale = false
-			case StaleServe:
-				// Serve anyway, downgraded guarantee below.
-			}
-		}
-		if best == nil || s.Rows < best.s.Rows {
-			best = &cand{s: s, stale: stale}
-		}
+		best, _ = e.selectSample(stmt, spec, table, qcs, key)
 	}
 	if best == nil {
 		return fallback("no certified sample for spec (unpredicted QCS, too-tight spec, or stale samples)", false)
 	}
 
-	raw, err := e.executeOn(best.s, stmt)
+	raw, err := e.executeOn(ctx, best.s, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -453,11 +516,11 @@ func (e *OfflineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Res
 	out.Diagnostics.Stale = best.stale
 	out.Diagnostics.Latency = time.Since(start)
 	if t, err := e.Catalog.Table(table); err == nil && t.NumRows() > 0 {
-		out.Diagnostics.SampleFraction = float64(best.s.Rows) / float64(t.NumRows())
+		out.Diagnostics.SampleFraction = float64(best.rows) / float64(t.NumRows())
 	}
 	out.Diagnostics.Messages = append(out.Diagnostics.Messages,
 		fmt.Sprintf("offline: answered from sample %s (%d rows, profiled err %.4f)",
-			best.s.Name, best.s.Rows, best.s.Profile[key]))
+			best.name, best.rows, best.prof))
 	return out, nil
 }
 

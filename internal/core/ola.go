@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -82,6 +83,14 @@ func (e *OLAEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result,
 	return e.ExecuteProgressive(stmt, spec, nil)
 }
 
+// ExecuteContext runs the query under a context. At the deadline the
+// engine does not error: it stops reading and returns its best
+// progressive estimate so far with an honest a-posteriori CI — the
+// error/latency trade-off made explicit (graceful degradation).
+func (e *OLAEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+	return e.ExecuteProgressiveContext(ctx, stmt, spec, nil)
+}
+
 // olaAgg is a per-group, per-slot accumulator over the rows read so far.
 // For SUM/COUNT estimation it treats the contribution z_i (the aggregate
 // argument for rows in the group, 0 otherwise) as a simple random sample
@@ -104,13 +113,24 @@ type olaGroup struct {
 // non-nil) is called at each checkpoint and may return false to stop.
 func (e *OLAEngine) ExecuteProgressive(stmt *sqlparse.SelectStmt, spec ErrorSpec,
 	observe func(Progress) bool) (*Result, error) {
+	return e.ExecuteProgressiveContext(context.Background(), stmt, spec, observe)
+}
+
+// ExecuteProgressiveContext is ExecuteProgressive under a context. The
+// context is checked between chunks after the first chunk completes:
+// cancellation or a deadline ends the progressive loop and the best
+// estimate so far is returned (never an error), keeping its a-posteriori
+// guarantee — a deadline is a data-independent stopping rule, so unlike
+// spec-triggered early stopping it does not void the CI's coverage.
+func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec,
+	observe func(Progress) bool) (*Result, error) {
 	start := time.Now()
 	if !spec.Valid() {
 		spec = DefaultErrorSpec
 	}
 	ok, reason := e.supported(stmt)
 	if !ok {
-		res, err := NewExactEngine(e.Catalog).Execute(stmt, spec)
+		res, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -122,6 +142,9 @@ func (e *OLAEngine) ExecuteProgressive(stmt *sqlparse.SelectStmt, spec ErrorSpec
 	if err != nil {
 		return nil, err
 	}
+	// Stream over a snapshot so the permutation and the reads agree on
+	// the row count even while writers keep appending.
+	t = t.Snapshot()
 	n := t.NumRows()
 
 	// Joined dimensions are fully built into hash tables; the fact table
@@ -273,7 +296,14 @@ func (e *OLAEngine) ExecuteProgressive(stmt *sqlparse.SelectStmt, spec ErrorSpec
 	}
 
 	var final *Result
+	deadlineStopped := false
 	for read < limit {
+		// Always complete at least one chunk so a too-tight deadline still
+		// yields an estimate; after that, the deadline wins between chunks.
+		if read > 0 && ctx.Err() != nil {
+			deadlineStopped = true
+			break
+		}
 		chunkEnd := read + e.Config.ChunkRows
 		if chunkEnd > limit {
 			chunkEnd = limit
@@ -333,6 +363,11 @@ func (e *OLAEngine) ExecuteProgressive(stmt *sqlparse.SelectStmt, spec ErrorSpec
 		final.Guarantee = GuaranteeNone
 		final.Diagnostics.Messages = append(final.Diagnostics.Messages,
 			"ola: stopped on an interim CI; the stopped-at interval does not retain its nominal coverage (peeking)")
+	}
+	if deadlineStopped {
+		final.Diagnostics.Partial = true
+		final.Diagnostics.Messages = append(final.Diagnostics.Messages, fmt.Sprintf(
+			"ola: deadline/cancellation after %d of %d rows; returning best progressive estimate", read, n))
 	}
 	return final, nil
 }
@@ -450,6 +485,9 @@ func (e *OLAEngine) buildOLAJoin(jc sqlparse.JoinClause, leftSchema storage.Sche
 	if err != nil {
 		return nil, err
 	}
+	// Build from a snapshot so the hash table is consistent under
+	// concurrent appends to the dimension.
+	dim = dim.Snapshot()
 	if dim.NumRows() > e.Config.MaxBuildRows {
 		return nil, fmt.Errorf("core: OLA join table %s has %d rows, above MaxBuildRows %d",
 			jc.Table.Name, dim.NumRows(), e.Config.MaxBuildRows)

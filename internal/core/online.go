@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/exec"
@@ -69,9 +71,13 @@ type OnlineEngine struct {
 	Catalog *storage.Catalog
 	Config  OnlineConfig
 
+	// mu guards the sample cache, the hit/miss counters, and the
+	// histogram registry so concurrent queries may share one engine.
+	mu sync.RWMutex
 	// cache holds Taster-style reusable uniform samples by table name.
 	cache map[string]*cachedSample
-	// CacheHits / CacheMisses count reuse effectiveness.
+	// CacheHits / CacheMisses count reuse effectiveness. Read them via
+	// CacheStats when other goroutines may be querying.
 	CacheHits, CacheMisses int
 	// histograms holds per-column selectivity estimators keyed
 	// "table.column" (see AttachHistogram).
@@ -101,7 +107,16 @@ func NewOnlineEngine(cat *storage.Catalog, cfg OnlineConfig) *OnlineEngine {
 // enabling the MinExpectedSampleRows guard on range predicates over that
 // column. Histograms are typically built once from internal/sketch.
 func (e *OnlineEngine) AttachHistogram(table, column string, h *sketch.EquiDepthHistogram) {
+	e.mu.Lock()
 	e.histograms[table+"."+column] = h
+	e.mu.Unlock()
+}
+
+// CacheStats returns the cache hit/miss counters under the engine lock.
+func (e *OnlineEngine) CacheStats() (hits, misses int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.CacheHits, e.CacheMisses
 }
 
 // BuildHistogram scans a numeric column and attaches an equi-depth
@@ -115,7 +130,7 @@ func (e *OnlineEngine) BuildHistogram(table, column string, buckets int) error {
 	if idx < 0 {
 		return fmt.Errorf("core: histogram column %s.%s not found", table, column)
 	}
-	col := t.Column(idx)
+	col := t.Snapshot().Column(idx)
 	if !col.Type().Numeric() {
 		return fmt.Errorf("core: histogram column %s.%s is not numeric", table, column)
 	}
@@ -148,7 +163,9 @@ func (e *OnlineEngine) estimatedQualifyingRows(s *plan.Scan) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
+	e.mu.RLock()
 	h := e.histograms[s.TableName+"."+col]
+	e.mu.RUnlock()
 	if h == nil {
 		return 0, false
 	}
@@ -160,12 +177,18 @@ func (e *OnlineEngine) Name() Technique { return TechniqueOnline }
 
 // Execute implements Engine.
 func (e *OnlineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+	return e.ExecuteContext(context.Background(), stmt, spec)
+}
+
+// ExecuteContext is Execute under a context: the sampled scan (and any
+// exact fallback) observes cancellation and deadlines.
+func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
 	start := time.Now()
 	if !spec.Valid() {
 		spec = DefaultErrorSpec
 	}
 	if ok, reason := supportedForSampling(stmt); !ok {
-		res, err := NewExactEngine(e.Catalog).Execute(stmt, spec)
+		res, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +204,7 @@ func (e *OnlineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Resu
 	}
 	planned, notes := e.placeSamplers(stmt, p)
 	if !planned {
-		res, err := NewExactEngine(e.Catalog).Execute(stmt, spec)
+		res, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -199,7 +222,7 @@ func (e *OnlineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Resu
 			}
 			if q, ok := e.estimatedQualifyingRows(s); ok {
 				if expected := q * s.Sample.Rate; expected < e.Config.MinExpectedSampleRows {
-					res, err := NewExactEngine(e.Catalog).Execute(stmt, spec)
+					res, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
 					if err != nil {
 						return nil, err
 					}
@@ -214,12 +237,12 @@ func (e *OnlineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Resu
 	}
 
 	if e.Config.CacheSamples {
-		if res, handled, err := e.tryCached(stmt, p, spec, notes, start); handled {
+		if res, handled, err := e.tryCached(ctx, stmt, p, spec, notes, start); handled {
 			return res, err
 		}
 	}
 
-	raw, err := exec.Run(p)
+	raw, err := exec.RunContext(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +251,7 @@ func (e *OnlineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Resu
 	out.Diagnostics.SampleFraction = sampleFraction(raw.Counters, sampledRows(p))
 
 	if !out.Diagnostics.SpecSatisfied && e.Config.FallbackToExact {
-		exactRes, err := NewExactEngine(e.Catalog).Execute(stmt, spec)
+		exactRes, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +269,9 @@ func (e *OnlineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Resu
 // tryCached serves the query from a Taster-style reusable uniform sample.
 // It applies only when the engine (not the user) placed a single uniform
 // sampler; returns handled=false to fall through to the normal path.
-func (e *OnlineEngine) tryCached(stmt *sqlparse.SelectStmt, p plan.Node, spec ErrorSpec,
+// The engine lock is held across the check-and-build so concurrent
+// queries over the same table build the cached sample once.
+func (e *OnlineEngine) tryCached(ctx context.Context, stmt *sqlparse.SelectStmt, p plan.Node, spec ErrorSpec,
 	notes []string, start time.Time) (*Result, bool, error) {
 	// User-written TABLESAMPLE clauses opt out of caching.
 	if stmt.From.Sample != nil {
@@ -275,10 +300,12 @@ func (e *OnlineEngine) tryCached(stmt *sqlparse.SelectStmt, p plan.Node, spec Er
 	rate := sampled.Sample.Rate
 
 	var builtRows int64
+	e.mu.Lock()
 	c := e.cache[name]
 	if c == nil || c.version != base.Version() || c.rate != rate {
 		res, err := sample.BuildUniformTable(base, rate, e.Config.Seed, name+"__cache")
 		if err != nil {
+			e.mu.Unlock()
 			return nil, true, err
 		}
 		c = &cachedSample{data: res.Table, version: res.BuildVersion, rate: rate}
@@ -292,6 +319,7 @@ func (e *OnlineEngine) tryCached(stmt *sqlparse.SelectStmt, p plan.Node, spec Er
 		notes = append(notes, fmt.Sprintf("online: cache hit — reusing %d-row sample of %s",
 			c.data.NumRows(), name))
 	}
+	e.mu.Unlock()
 
 	shadow := storage.NewCatalog()
 	for _, tn := range e.Catalog.Names() {
@@ -313,7 +341,7 @@ func (e *OnlineEngine) tryCached(stmt *sqlparse.SelectStmt, p plan.Node, spec Er
 	if err != nil {
 		return nil, true, err
 	}
-	raw, err := exec.Run(p2)
+	raw, err := exec.RunContext(ctx, p2)
 	if err != nil {
 		return nil, true, err
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/expr"
@@ -26,6 +28,9 @@ import (
 type SynopsisEngine struct {
 	Catalog *storage.Catalog
 
+	// mu guards the synopsis registries: queries read them concurrently,
+	// BuildColumn writes.
+	mu         sync.RWMutex
 	histograms map[string]*sketch.EquiDepthHistogram // table.col
 	hlls       map[string]*sketch.HyperLogLog
 	cms        map[string]*sketch.CountMin
@@ -46,7 +51,11 @@ func NewSynopsisEngine(cat *storage.Catalog) *SynopsisEngine {
 func (e *SynopsisEngine) Name() Technique { return TechniqueSynopsis }
 
 // BuildRows returns the cumulative base rows scanned to build synopses.
-func (e *SynopsisEngine) BuildRows() int64 { return e.buildRows }
+func (e *SynopsisEngine) BuildRows() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.buildRows
+}
 
 func synKey(table, col string) string { return table + "." + col }
 
@@ -61,7 +70,7 @@ func (e *SynopsisEngine) BuildColumn(table, col string, buckets int) error {
 	if idx < 0 {
 		return fmt.Errorf("core: synopsis column %s.%s not found", table, col)
 	}
-	c := t.Column(idx)
+	c := t.Snapshot().Column(idx)
 	key := synKey(table, col)
 	hll, err := sketch.NewHyperLogLog(14)
 	if err != nil {
@@ -84,25 +93,40 @@ func (e *SynopsisEngine) BuildColumn(table, col string, buckets int) error {
 			numeric = append(numeric, v.AsFloat())
 		}
 	}
-	e.buildRows += int64(c.Len())
-	e.hlls[key] = hll
-	e.cms[key] = cm
+	var hist *sketch.EquiDepthHistogram
 	if len(numeric) > 0 {
 		if buckets <= 0 {
 			buckets = 128
 		}
-		h, err := sketch.BuildEquiDepth(numeric, buckets)
+		hist, err = sketch.BuildEquiDepth(numeric, buckets)
 		if err != nil {
 			return err
 		}
-		e.histograms[key] = h
 	}
+	e.mu.Lock()
+	e.buildRows += int64(c.Len())
+	e.hlls[key] = hll
+	e.cms[key] = cm
+	if hist != nil {
+		e.histograms[key] = hist
+	}
+	e.mu.Unlock()
 	return nil
 }
 
 // Execute implements Engine. Unsupported queries return an error — the
 // Advisor is responsible for routing them elsewhere.
 func (e *SynopsisEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+	return e.ExecuteContext(context.Background(), stmt, spec)
+}
+
+// ExecuteContext is Execute under a context. Synopsis answers are
+// O(synopsis) — no scan to cancel — so the context is only checked once
+// up front.
+func (e *SynopsisEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	if !spec.Valid() {
 		spec = DefaultErrorSpec
@@ -131,6 +155,8 @@ func (e *SynopsisEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Re
 
 // answer pattern-matches the supported query shapes.
 func (e *SynopsisEngine) answer(stmt *sqlparse.SelectStmt) (float64, string, stats.Interval, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	none := stats.Interval{}
 	if len(stmt.Joins) > 0 || len(stmt.GroupBy) > 0 || stmt.Having != nil ||
 		len(stmt.Items) != 1 {

@@ -1,53 +1,62 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/plan"
 )
 
 // BuildOperator compiles a logical plan into a physical operator tree.
-// All scans share the provided counters.
+// All scans share the provided counters. The tree observes no
+// cancellation; use BuildOperatorContext for deadline-aware execution.
 func BuildOperator(n plan.Node, counters *Counters) (Operator, error) {
+	return BuildOperatorContext(context.Background(), n, counters)
+}
+
+// BuildOperatorContext compiles a logical plan into a physical operator
+// tree whose scans check ctx between batches, so long scans observe
+// cancellation and deadlines at BatchSize granularity.
+func BuildOperatorContext(ctx context.Context, n plan.Node, counters *Counters) (Operator, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
-		return newScanOp(t, counters)
+		return newScanOp(ctx, t, counters)
 	case *plan.Filter:
-		child, err := BuildOperator(t.Child, counters)
+		child, err := BuildOperatorContext(ctx, t.Child, counters)
 		if err != nil {
 			return nil, err
 		}
 		return &filterOp{child: child, pred: t.Pred}, nil
 	case *plan.Project:
-		child, err := BuildOperator(t.Child, counters)
+		child, err := BuildOperatorContext(ctx, t.Child, counters)
 		if err != nil {
 			return nil, err
 		}
 		return &projectOp{child: child, node: t, schema: t.Schema()}, nil
 	case *plan.Join:
-		left, err := BuildOperator(t.Left, counters)
+		left, err := BuildOperatorContext(ctx, t.Left, counters)
 		if err != nil {
 			return nil, err
 		}
-		right, err := BuildOperator(t.Right, counters)
+		right, err := BuildOperatorContext(ctx, t.Right, counters)
 		if err != nil {
 			return nil, err
 		}
 		return &hashJoinOp{node: t, left: left, right: right, schema: t.Schema()}, nil
 	case *plan.Aggregate:
-		child, err := BuildOperator(t.Child, counters)
+		child, err := BuildOperatorContext(ctx, t.Child, counters)
 		if err != nil {
 			return nil, err
 		}
 		return &hashAggOp{node: t, child: child}, nil
 	case *plan.Sort:
-		child, err := BuildOperator(t.Child, counters)
+		child, err := BuildOperatorContext(ctx, t.Child, counters)
 		if err != nil {
 			return nil, err
 		}
 		return &sortOp{node: t, child: child}, nil
 	case *plan.Limit:
-		child, err := BuildOperator(t.Child, counters)
+		child, err := BuildOperatorContext(ctx, t.Child, counters)
 		if err != nil {
 			return nil, err
 		}
@@ -58,8 +67,15 @@ func BuildOperator(n plan.Node, counters *Counters) (Operator, error) {
 
 // Run executes a logical plan to completion, materializing the result.
 func Run(root plan.Node) (*Result, error) {
+	return RunContext(context.Background(), root)
+}
+
+// RunContext executes a logical plan to completion under ctx. Scans check
+// the context between batches, so a deadline or cancellation aborts the
+// query mid-scan with ctx.Err() rather than running to completion.
+func RunContext(ctx context.Context, root plan.Node) (*Result, error) {
 	var counters Counters
-	op, err := BuildOperator(root, &counters)
+	op, err := BuildOperatorContext(ctx, root, &counters)
 	if err != nil {
 		return nil, err
 	}
@@ -68,6 +84,10 @@ func Run(root plan.Node) (*Result, error) {
 	}
 	res := &Result{Schema: root.Schema()}
 	for {
+		if err := ctx.Err(); err != nil {
+			_ = op.Close()
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			_ = op.Close()

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/expr"
@@ -18,6 +19,7 @@ import (
 type scanOp struct {
 	scan     *plan.Scan
 	counters *Counters
+	ctx      context.Context
 
 	outIdx    []int // table column index per output column
 	weightIdx int   // hidden weight column in table, or -1
@@ -32,8 +34,8 @@ type scanOp struct {
 	keyBuf []storage.Value
 }
 
-func newScanOp(s *plan.Scan, counters *Counters) (*scanOp, error) {
-	op := &scanOp{scan: s, counters: counters, table: s.Table, weightIdx: -1}
+func newScanOp(ctx context.Context, s *plan.Scan, counters *Counters) (*scanOp, error) {
+	op := &scanOp{scan: s, counters: counters, ctx: ctx, table: s.Table, weightIdx: -1}
 	tschema := s.Table.Schema()
 	for _, def := range s.Schema() {
 		idx := tschema.ColumnIndex(def.Name)
@@ -76,6 +78,9 @@ func (op *scanOp) Schema() storage.Schema { return op.scan.Schema() }
 
 // Open implements Operator.
 func (op *scanOp) Open() error {
+	// Scan a snapshot: concurrent appends to the live table neither tear
+	// the read prefix nor move the row count mid-scan.
+	op.table = op.scan.Table.Snapshot()
 	op.nRows = op.table.NumRows()
 	op.row = 0
 	op.block = 0
@@ -112,6 +117,12 @@ func (r tableRow) ColumnValue(i int) storage.Value { return r.t.Column(i).Value(
 func (op *scanOp) Next() (*Batch, error) {
 	if op.row >= op.nRows {
 		return nil, nil
+	}
+	// One cancellation checkpoint per batch: long scans under a blocking
+	// parent (hash aggregate, sort) still observe deadlines at BatchSize
+	// granularity because every batch is produced here.
+	if err := op.ctx.Err(); err != nil {
+		return nil, err
 	}
 	batch := &Batch{}
 	blockSize := op.table.BlockSize()

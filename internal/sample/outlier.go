@@ -72,6 +72,8 @@ func BuildOutlierIndex(src *storage.Table, column string, k int, p float64, seed
 	if p <= 0 || p > 1 {
 		return nil, fmt.Errorf("sample: outlier remainder rate %v out of (0,1]", p)
 	}
+	// Scan a snapshot so the build is safe under concurrent appends.
+	src = src.Snapshot()
 	colIdx := src.Schema().ColumnIndex(column)
 	if colIdx < 0 {
 		return nil, fmt.Errorf("sample: outlier column %q not in table %s", column, src.Name())

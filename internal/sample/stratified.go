@@ -58,6 +58,9 @@ func BuildStratified(src *storage.Table, cfg StratifiedConfig, name string) (*St
 	if cfg.CapPerStratum <= 0 {
 		return nil, fmt.Errorf("sample: stratified cap must be positive")
 	}
+	// Scan a snapshot so the build is safe under concurrent appends.
+	src = src.Snapshot()
+
 	keyIdx := make([]int, len(cfg.KeyColumns))
 	for i, col := range cfg.KeyColumns {
 		idx := src.Schema().ColumnIndex(col)
@@ -145,6 +148,9 @@ func BuildStratifiedNeyman(src *storage.Table, cfg NeymanConfig, name string) (*
 	if cfg.TotalBudget <= 0 {
 		return nil, fmt.Errorf("sample: Neyman budget must be positive")
 	}
+	// Scan a snapshot so the build is safe under concurrent appends.
+	src = src.Snapshot()
+
 	keyIdx := make([]int, len(cfg.KeyColumns))
 	for i, col := range cfg.KeyColumns {
 		idx := src.Schema().ColumnIndex(col)
@@ -250,6 +256,9 @@ func BuildUniformTable(src *storage.Table, p float64, seed int64, name string) (
 	if p <= 0 || p > 1 {
 		return nil, fmt.Errorf("sample: uniform rate %v out of (0,1]", p)
 	}
+	// Scan a snapshot so the build is safe under concurrent appends.
+	src = src.Snapshot()
+
 	version := src.Version()
 	n := src.NumRows()
 	u := NewUniform(p, seed)

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrShed is returned when both the worker pool and the wait queue are
+// full: the request is load-shed rather than queued unboundedly (the
+// HTTP layer maps it to 429).
+var ErrShed = errors.New("server: overloaded, request shed")
+
+// ErrDraining is returned to new requests once shutdown has begun.
+var ErrDraining = errors.New("server: draining, not accepting new queries")
+
+// Admission is a two-stage admission controller: a bounded worker pool
+// (at most Workers queries execute concurrently) fronted by a bounded
+// wait queue (at most QueueCap more may wait for a slot). Anything
+// beyond that is shed immediately — bounded latency is part of the AQP
+// contract, so the service fails fast instead of building an invisible
+// backlog.
+type Admission struct {
+	sem   chan struct{} // buffered: one token per running query
+	queue chan struct{} // buffered: one token per waiting query
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// NewAdmission creates a controller with the given worker and queue
+// capacities (minimums of 1 and 0 are enforced).
+func NewAdmission(workers, queueCap int) *Admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	return &Admission{
+		sem:   make(chan struct{}, workers),
+		queue: make(chan struct{}, queueCap),
+	}
+}
+
+// Acquire admits one query. It returns a release function to call when
+// the query finishes, or an error: ErrShed when queue and pool are both
+// full, ErrDraining during shutdown, or ctx.Err() if the caller gave up
+// while waiting in the queue.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	// Registration must precede the draining check so Drain's WaitGroup
+	// never misses an admitted query.
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return nil, ErrDraining
+	}
+	a.inflight.Add(1)
+	a.mu.Unlock()
+
+	done := func() {
+		<-a.sem
+		a.inflight.Done()
+	}
+
+	// Fast path: a worker slot is free.
+	select {
+	case a.sem <- struct{}{}:
+		return done, nil
+	default:
+	}
+	// Slow path: wait in the bounded queue; shed if it is full too.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.inflight.Done()
+		return nil, ErrShed
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.sem <- struct{}{}:
+		return done, nil
+	case <-ctx.Done():
+		a.inflight.Done()
+		return nil, ctx.Err()
+	}
+}
+
+// QueueDepth reports how many queries are waiting for a worker slot.
+func (a *Admission) QueueDepth() int { return len(a.queue) }
+
+// InFlight reports how many queries hold a worker slot.
+func (a *Admission) InFlight() int { return len(a.sem) }
+
+// Workers reports the worker-pool capacity.
+func (a *Admission) Workers() int { return cap(a.sem) }
+
+// QueueCap reports the wait-queue capacity.
+func (a *Admission) QueueCap() int { return cap(a.queue) }
+
+// Draining reports whether shutdown has begun.
+func (a *Admission) Draining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// Drain stops admitting new queries and waits until every admitted one
+// has released, or ctx expires (returning ctx.Err()).
+func (a *Admission) Drain(ctx context.Context) error {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		a.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	aqp "repro"
+)
+
+// LoadCSVFile loads a CSV file (header row required) into db under
+// name, inferring the column types from the data: a column is BIGINT if
+// every non-empty cell parses as an integer, DOUBLE if every cell
+// parses as a number, BOOLEAN for true/false, VARCHAR otherwise.
+func LoadCSVFile(db *aqp.DB, name, path string) (*aqp.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCSVReader(db, name, f)
+}
+
+// LoadCSVReader is LoadCSVFile over any reader. The whole input is read
+// once to infer the schema, then appended via the typed loader.
+func LoadCSVReader(db *aqp.DB, name string, r io.Reader) (*aqp.Table, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("server: read CSV for %s: %w", name, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("server: CSV for %s has no header row", name)
+	}
+	header := recs[0]
+	rows := recs[1:]
+	schema := make(aqp.Schema, len(header))
+	for j, col := range header {
+		schema[j] = aqp.ColumnDef{Name: strings.TrimSpace(col), Type: inferColumnType(rows, j)}
+	}
+	t, err := db.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([][]aqp.Value, 0, len(rows))
+	for i, rec := range rows {
+		row := make([]aqp.Value, len(schema))
+		for j := range schema {
+			cell := ""
+			if j < len(rec) {
+				cell = strings.TrimSpace(rec[j])
+			}
+			v, err := parseCell(schema[j].Type, cell)
+			if err != nil {
+				return nil, fmt.Errorf("server: %s line %d column %s: %w", name, i+2, schema[j].Name, err)
+			}
+			row[j] = v
+		}
+		vals = append(vals, row)
+	}
+	if err := t.AppendRows(vals); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func isNullCell(cell string) bool {
+	return cell == "" || strings.EqualFold(cell, "null")
+}
+
+// inferColumnType scans column j of the data rows and returns the most
+// specific type that fits every non-null cell.
+func inferColumnType(rows [][]string, j int) aqp.Type {
+	isInt, isFloat, isBool := true, true, true
+	seen := false
+	for _, rec := range rows {
+		if j >= len(rec) {
+			continue
+		}
+		cell := strings.TrimSpace(rec[j])
+		if isNullCell(cell) {
+			continue
+		}
+		seen = true
+		if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+			isInt = false
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			isFloat = false
+		}
+		if !strings.EqualFold(cell, "true") && !strings.EqualFold(cell, "false") {
+			isBool = false
+		}
+		if !isInt && !isFloat && !isBool {
+			break
+		}
+	}
+	switch {
+	case !seen:
+		return aqp.TypeString
+	case isBool:
+		return aqp.TypeBool
+	case isInt:
+		return aqp.TypeInt64
+	case isFloat:
+		return aqp.TypeFloat64
+	default:
+		return aqp.TypeString
+	}
+}
+
+func parseCell(t aqp.Type, cell string) (aqp.Value, error) {
+	if isNullCell(cell) {
+		return aqp.Null(t), nil
+	}
+	switch t {
+	case aqp.TypeInt64:
+		v, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return aqp.Value{}, err
+		}
+		return aqp.Int64(v), nil
+	case aqp.TypeFloat64:
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return aqp.Value{}, err
+		}
+		return aqp.Float64(v), nil
+	case aqp.TypeBool:
+		return aqp.Bool(strings.EqualFold(cell, "true")), nil
+	default:
+		return aqp.Str(cell), nil
+	}
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// latency histogram buckets; an implicit +Inf bucket catches the rest.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Metrics is an in-process metrics registry: named counters and fixed-
+// bucket histograms, safe for concurrent use, serialized as JSON by the
+// /metrics handler. Keys carry their labels inline, Prometheus-style:
+// queries_total{technique="exact"}.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Key formats a metric key with one label: name{label="value"}.
+func Key(name, label, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, label, value)
+}
+
+// Add increments a counter by delta.
+func (m *Metrics) Add(key string, delta int64) {
+	m.mu.Lock()
+	m.counters[key] += delta
+	m.mu.Unlock()
+}
+
+// Inc increments a counter by one.
+func (m *Metrics) Inc(key string) { m.Add(key, 1) }
+
+// Observe records one sample into a histogram (created on first use).
+func (m *Metrics) Observe(key string, v float64) {
+	m.mu.Lock()
+	h := m.hists[key]
+	if h == nil {
+		h = newHistogram()
+		m.hists[key] = h
+	}
+	h.observe(v)
+	m.mu.Unlock()
+}
+
+// Counter reads a counter's current value (0 if never written).
+func (m *Metrics) Counter(key string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[key]
+}
+
+// CounterSum sums every counter whose key starts with prefix — the
+// label-free total of a labeled counter family.
+func (m *Metrics) CounterSum(prefix string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum int64
+	for k, v := range m.counters {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// histogram is a fixed-bucket histogram over latencyBucketsMS.
+type histogram struct {
+	counts   []int64 // one per bucket, plus trailing +Inf
+	total    int64
+	sum      float64
+	min, max float64
+}
+
+func newHistogram() *histogram {
+	return &histogram{
+		counts: make([]int64, len(latencyBucketsMS)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(latencyBucketsMS, v)
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Min     float64          `json:"min"`
+	Max     float64          `json:"max"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// Snapshot copies the registry into a JSON-encodable form.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Gauges     map[string]int64             `json:"gauges"`
+}
+
+// Snapshot captures the current state. Gauges (instantaneous readings
+// like queue depth) are supplied by the caller.
+func (m *Metrics) Snapshot(gauges map[string]int64) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(m.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(m.hists)),
+		Gauges:     gauges,
+	}
+	for k, v := range m.counters {
+		snap.Counters[k] = v
+	}
+	for k, h := range m.hists {
+		hs := HistogramSnapshot{
+			Count:   h.total,
+			Sum:     h.sum,
+			Buckets: make(map[string]int64, len(h.counts)),
+		}
+		if h.total > 0 {
+			hs.Min = h.min
+			hs.Max = h.max
+			hs.Mean = h.sum / float64(h.total)
+		}
+		for i, c := range h.counts {
+			if c == 0 {
+				continue
+			}
+			label := "+Inf"
+			if i < len(latencyBucketsMS) {
+				label = fmt.Sprintf("le=%g", latencyBucketsMS[i])
+			}
+			hs.Buckets[label] = c
+		}
+		snap.Histograms[k] = hs
+	}
+	return snap
+}

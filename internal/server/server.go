@@ -1,0 +1,324 @@
+// Package server exposes an aqp.DB as a concurrent HTTP/JSON query
+// service: POST /query with an error spec, GET /tables, POST
+// /samples/build, GET /metrics, GET /healthz. Concurrency is governed by
+// a bounded worker pool with a bounded wait queue (overflow is shed with
+// 429), every query runs under a deadline plumbed through the engines
+// via context, and online aggregation degrades gracefully — at the
+// deadline it returns its best progressive estimate instead of an error.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	aqp "repro"
+	"repro/internal/core"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers is the maximum number of concurrently executing queries
+	// (default 4).
+	Workers int
+	// QueueCap is the maximum number of queries waiting for a worker
+	// before new arrivals are shed (default 2*Workers).
+	QueueCap int
+	// DefaultTimeout bounds queries that specify none (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (default 5m).
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 2 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the HTTP query service over one shared aqp.DB.
+type Server struct {
+	db    *aqp.DB
+	cfg   Config
+	adm   *Admission
+	met   *Metrics
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a server over db.
+func New(db *aqp.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:    db,
+		cfg:   cfg,
+		adm:   NewAdmission(cfg.Workers, cfg.QueueCap),
+		met:   NewMetrics(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/tables", s.handleTables)
+	s.mux.HandleFunc("/samples/build", s.handleBuildSamples)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Admission returns the admission controller (exposed for tests and for
+// gauge reporting).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Shutdown stops admitting queries and waits for in-flight ones to
+// drain, or until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.adm.Drain(ctx)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleQuery admits, bounds, routes, and executes one query.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	if err := validMode(req.Mode); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	release, err := s.adm.Acquire(r.Context())
+	switch {
+	case errors.Is(err, ErrShed):
+		s.met.Inc("queries_shed_total")
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded: %d running, %d queued", s.adm.InFlight(), s.adm.QueueDepth())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case err != nil:
+		// The client went away while queued.
+		s.met.Inc("queries_abandoned_total")
+		writeError(w, http.StatusRequestTimeout, "canceled while queued: %v", err)
+		return
+	}
+	defer release()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, err := s.execute(ctx, req)
+	elapsed := time.Since(start)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Non-OLA engines are all-or-nothing: past the deadline
+			// there is no estimate to return.
+			status = http.StatusGatewayTimeout
+			s.met.Inc("queries_deadline_total")
+		} else if errors.Is(err, context.Canceled) {
+			status = http.StatusRequestTimeout
+		}
+		s.met.Inc("queries_errors_total")
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	s.met.Inc(Key("queries_total", "technique", string(res.Technique)))
+	s.met.Inc(Key("queries_by_guarantee", "guarantee", res.Guarantee.String()))
+	s.met.Add("rows_scanned_total", res.Diagnostics.Counters.RowsScanned)
+	s.met.Observe(Key("query_latency_ms", "technique", string(res.Technique)),
+		float64(elapsed.Microseconds())/1e3)
+	if res.Diagnostics.Partial {
+		s.met.Inc("queries_partial_total")
+	}
+	writeJSON(w, http.StatusOK, encodeResult(res))
+}
+
+// execute routes the request to the right façade call.
+func (s *Server) execute(ctx context.Context, req QueryRequest) (*core.Result, error) {
+	spec := core.DefaultErrorSpec
+	if req.RelError > 0 {
+		spec = core.ErrorSpec{RelError: req.RelError, Confidence: req.Confidence}
+		if spec.Confidence <= 0 {
+			spec.Confidence = core.DefaultErrorSpec.Confidence
+		}
+	}
+	switch req.Mode {
+	case "", "auto":
+		return s.db.QueryApproxContext(ctx, req.SQL, spec)
+	case "exact":
+		return s.db.QueryContext(ctx, req.SQL)
+	case "online":
+		return s.db.QueryOnlineContext(ctx, req.SQL, spec)
+	case "offline":
+		return s.db.QueryOfflineContext(ctx, req.SQL, spec)
+	case "ola":
+		return s.db.QueryOLAContext(ctx, req.SQL, spec)
+	case "as-written":
+		return s.db.QueryAsWrittenContext(ctx, req.SQL, spec)
+	default:
+		return nil, fmt.Errorf("unknown mode %q", req.Mode)
+	}
+}
+
+// handleTables lists catalog tables with schemas and stored samples.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	cat := s.db.Catalog()
+	off := s.db.OfflineEngine()
+	var out []TableInfo
+	for _, name := range cat.Names() {
+		t, err := cat.Table(name)
+		if err != nil {
+			continue // dropped between Names and Table
+		}
+		info := TableInfo{Name: name, Rows: t.NumRows(), Version: t.Version()}
+		for _, def := range t.Schema() {
+			info.Columns = append(info.Columns, ColumnInfo{Name: def.Name, Type: def.Type.String()})
+		}
+		info.Samples = sampleInfos(off, name)
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func sampleInfos(off *core.OfflineEngine, table string) []SampleInfo {
+	var out []SampleInfo
+	for _, smp := range off.Samples(table) {
+		out = append(out, SampleInfo{
+			Name:  smp.Name,
+			QCS:   smp.QCS,
+			Rows:  smp.Rows,
+			Rate:  smp.Rate,
+			Cap:   smp.Cap,
+			Fresh: smp.Fresh(off.Catalog),
+		})
+	}
+	return out
+}
+
+// handleBuildSamples builds (and optionally profiles) offline samples.
+func (s *Server) handleBuildSamples(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BuildSamplesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Table == "" {
+		writeError(w, http.StatusBadRequest, "missing table")
+		return
+	}
+	// Sample builds scan the base table — admit them like queries so
+	// they cannot starve the worker pool either.
+	release, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, ErrShed) {
+			s.met.Inc("queries_shed_total")
+			writeError(w, http.StatusTooManyRequests, "overloaded")
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer release()
+
+	if err := s.db.BuildOfflineSamples(req.Table, req.QCS); err != nil {
+		s.met.Inc("queries_errors_total")
+		writeError(w, http.StatusBadRequest, "build samples: %v", err)
+		return
+	}
+	if len(req.Profile) > 0 {
+		if err := s.db.ProfileOffline(req.Profile...); err != nil {
+			s.met.Inc("queries_errors_total")
+			writeError(w, http.StatusBadRequest, "profile: %v", err)
+			return
+		}
+	}
+	s.met.Inc("samples_built_total")
+	writeJSON(w, http.StatusOK, BuildSamplesResponse{
+		Table:   req.Table,
+		Samples: sampleInfos(s.db.OfflineEngine(), req.Table),
+	})
+}
+
+// handleMetrics serves the metrics snapshot as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.met.Snapshot(map[string]int64{
+		"queue_depth":    int64(s.adm.QueueDepth()),
+		"in_flight":      int64(s.adm.InFlight()),
+		"workers":        int64(s.adm.Workers()),
+		"queue_capacity": int64(s.adm.QueueCap()),
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+	}))
+}
+
+// handleHealthz reports liveness and drain state.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.adm.Draining() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{"status": state, "tables": len(s.db.Catalog().Names())})
+}

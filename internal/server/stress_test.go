@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	aqp "repro"
+)
+
+// TestStressMixedWorkload hammers a live handler with 16 concurrent
+// clients running mixed exact/approx/OLA/online queries while a writer
+// goroutine appends rows to the shared table. Run under -race this is
+// the service-level concurrency-safety check: every response must be a
+// well-formed 200/429/504, never a 500, and results must stay sane.
+func TestStressMixedWorkload(t *testing.T) {
+	db := buildDB(t, 100000)
+	srv := New(db, Config{Workers: 4, QueueCap: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Pre-build synopses and samples so those registries see concurrent
+	// readers too.
+	if err := db.BuildSynopsis("t", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildOfflineSamples("t", [][]string{{"g"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []QueryRequest{
+		{SQL: "SELECT COUNT(*) FROM t", Mode: "exact"},
+		{SQL: "SELECT SUM(x) FROM t WITH ERROR 5% CONFIDENCE 95%"},
+		{SQL: "SELECT AVG(x) FROM t", Mode: "ola", TimeoutMS: 50},
+		{SQL: "SELECT SUM(x) FROM t GROUP BY g", Mode: "online", RelError: 0.05, Confidence: 0.95},
+		{SQL: "SELECT AVG(x) FROM t", Mode: "offline", RelError: 0.1, Confidence: 0.9},
+		{SQL: "SELECT COUNT(*) FROM t WHERE x > 50", Mode: "auto", RelError: 0.05},
+	}
+
+	stop := make(chan struct{})
+	var writerErr atomic.Value
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		tbl, err := db.Table("t")
+		if err != nil {
+			writerErr.Store(err)
+			return
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			err := tbl.AppendRow(
+				aqp.Int64(int64(1_000_000+i)),
+				aqp.Float64(float64(i%100)),
+				aqp.Str(fmt.Sprintf("g%d", i%8)),
+			)
+			if err != nil {
+				writerErr.Store(err)
+				return
+			}
+		}
+	}()
+
+	const clients = 16
+	const perClient = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	statuses := make(map[int]int)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				req := queries[(c+i)%len(queries)]
+				resp, ok, bad := postQuery(t, ts.URL, req)
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				mu.Unlock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if len(ok.Rows) == 0 || ok.Technique == "" {
+						t.Errorf("malformed 200 for %q: %+v", req.SQL, ok)
+					}
+				case http.StatusTooManyRequests, http.StatusGatewayTimeout:
+					// Load shedding and deadline misses are legitimate
+					// under stress.
+				default:
+					t.Errorf("unexpected status %d for %q: %s", resp.StatusCode, req.SQL, bad.Error)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	writerWG.Wait()
+	if err := writerErr.Load(); err != nil {
+		t.Fatalf("writer failed: %v", err)
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Fatalf("nothing succeeded under stress: %v", statuses)
+	}
+
+	snap := getMetrics(t, ts.URL)
+	var totalCounted int64
+	for k, v := range snap.Counters {
+		if len(k) > 13 && k[:13] == "queries_total" {
+			totalCounted += v
+		}
+	}
+	if int(totalCounted) != statuses[http.StatusOK] {
+		t.Fatalf("per-technique counters sum to %d, but %d queries returned 200",
+			totalCounted, statuses[http.StatusOK])
+	}
+}

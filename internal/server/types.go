@@ -1,0 +1,177 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	// SQL is the query text; it may carry WITH ERROR / CONFIDENCE.
+	SQL string `json:"sql"`
+	// Mode picks the engine: "auto" (advisor, default), "exact",
+	// "online", "offline", "ola", "as-written".
+	Mode string `json:"mode,omitempty"`
+	// RelError / Confidence form the accuracy contract when the SQL has
+	// no WITH ERROR clause (both required together).
+	RelError   float64 `json:"rel_error,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	// TimeoutMS bounds execution; 0 uses the server default. It is
+	// clamped to the server maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ItemJSON annotates one result cell.
+type ItemJSON struct {
+	Name         string  `json:"name"`
+	IsAggregate  bool    `json:"is_aggregate"`
+	HasCI        bool    `json:"has_ci"`
+	CILo         float64 `json:"ci_lo,omitempty"`
+	CIHi         float64 `json:"ci_hi,omitempty"`
+	Confidence   float64 `json:"confidence,omitempty"`
+	RelHalfWidth float64 `json:"rel_half_width,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	Columns []string     `json:"columns"`
+	Rows    [][]any      `json:"rows"`
+	Items   [][]ItemJSON `json:"items,omitempty"`
+
+	Technique string  `json:"technique"`
+	Guarantee string  `json:"guarantee"`
+	RelError  float64 `json:"rel_error,omitempty"`
+	ConfSpec  float64 `json:"confidence,omitempty"`
+
+	// Partial marks a deadline-truncated online-aggregation answer: the
+	// best progressive estimate available when time ran out.
+	Partial        bool     `json:"partial"`
+	SpecSatisfied  bool     `json:"spec_satisfied"`
+	LatencyMS      float64  `json:"latency_ms"`
+	RowsScanned    int64    `json:"rows_scanned"`
+	SampleFraction float64  `json:"sample_fraction"`
+	Messages       []string `json:"messages,omitempty"`
+}
+
+// ErrorResponse is the body of any non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// TableInfo describes one catalog table for GET /tables.
+type TableInfo struct {
+	Name    string       `json:"name"`
+	Rows    int          `json:"rows"`
+	Version uint64       `json:"version"`
+	Columns []ColumnInfo `json:"columns"`
+	Samples []SampleInfo `json:"samples,omitempty"`
+}
+
+// ColumnInfo describes one column.
+type ColumnInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// SampleInfo describes one stored offline sample.
+type SampleInfo struct {
+	Name  string   `json:"name"`
+	QCS   []string `json:"qcs,omitempty"`
+	Rows  int      `json:"rows"`
+	Rate  float64  `json:"rate,omitempty"`
+	Cap   int      `json:"cap,omitempty"`
+	Fresh bool     `json:"fresh"`
+}
+
+// BuildSamplesRequest is the body of POST /samples/build.
+type BuildSamplesRequest struct {
+	Table string `json:"table"`
+	// QCS lists the query column sets to stratify on; an empty list
+	// builds the default ladder (uniform sample only).
+	QCS [][]string `json:"qcs,omitempty"`
+	// Profile lists queries to run for error-profile certification.
+	Profile []string `json:"profile,omitempty"`
+}
+
+// BuildSamplesResponse reports what POST /samples/build produced.
+type BuildSamplesResponse struct {
+	Table   string       `json:"table"`
+	Samples []SampleInfo `json:"samples"`
+}
+
+// encodeValue converts a storage value to its JSON-friendly form: nil
+// for NULL, otherwise the native Go scalar.
+func encodeValue(v storage.Value) any {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Typ {
+	case storage.TypeInt64:
+		return v.I
+	case storage.TypeFloat64:
+		return v.F
+	case storage.TypeString:
+		return v.S
+	case storage.TypeBool:
+		return v.B
+	default:
+		return v.String()
+	}
+}
+
+// encodeResult converts an annotated engine result to the wire form.
+func encodeResult(res *core.Result) *QueryResponse {
+	out := &QueryResponse{
+		Columns:        res.Columns,
+		Rows:           make([][]any, len(res.Rows)),
+		Technique:      string(res.Technique),
+		Guarantee:      res.Guarantee.String(),
+		RelError:       res.Spec.RelError,
+		ConfSpec:       res.Spec.Confidence,
+		Partial:        res.Diagnostics.Partial,
+		SpecSatisfied:  res.Diagnostics.SpecSatisfied,
+		LatencyMS:      float64(res.Diagnostics.Latency.Microseconds()) / 1e3,
+		RowsScanned:    res.Diagnostics.Counters.RowsScanned,
+		SampleFraction: res.Diagnostics.SampleFraction,
+		Messages:       res.Diagnostics.Messages,
+	}
+	for i, row := range res.Rows {
+		enc := make([]any, len(row))
+		for j, v := range row {
+			enc[j] = encodeValue(v)
+		}
+		out.Rows[i] = enc
+	}
+	if len(res.Items) > 0 {
+		out.Items = make([][]ItemJSON, len(res.Items))
+		for i, items := range res.Items {
+			enc := make([]ItemJSON, len(items))
+			for j, it := range items {
+				enc[j] = ItemJSON{
+					Name:        it.Name,
+					IsAggregate: it.IsAggregate,
+					HasCI:       it.HasCI,
+				}
+				if it.HasCI {
+					enc[j].CILo = it.CI.Lo
+					enc[j].CIHi = it.CI.Hi
+					enc[j].Confidence = it.CI.Confidence
+					enc[j].RelHalfWidth = it.RelHalfWidth
+				}
+			}
+			out.Items[i] = enc
+		}
+	}
+	return out
+}
+
+// validMode reports whether the request mode is recognized.
+func validMode(m string) error {
+	switch m {
+	case "", "auto", "exact", "online", "offline", "ola", "as-written":
+		return nil
+	}
+	return fmt.Errorf("unknown mode %q (want auto, exact, online, offline, ola, or as-written)", m)
+}

@@ -14,6 +14,13 @@ type Column interface {
 	Append(v Value) error
 	// IsNull reports whether the i-th value is NULL.
 	IsNull(i int) bool
+	// snapshot returns a read-only view of the column as of now. Because
+	// columns are append-only, the rows below the captured length never
+	// mutate; copying the slice headers is enough to make the view safe
+	// against concurrent appends (which may grow or reallocate the live
+	// slices but never touch the captured prefix). Must be called with the
+	// owning table's lock held so the headers are read consistently.
+	snapshot() Column
 }
 
 // NewColumn allocates an empty column of the given type.
@@ -203,3 +210,15 @@ func (c *BoolColumn) Append(v Value) error {
 	c.data = append(c.data, v.B)
 	return nil
 }
+
+// snapshot implements Column.
+func (c *Int64Column) snapshot() Column { cp := *c; return &cp }
+
+// snapshot implements Column.
+func (c *Float64Column) snapshot() Column { cp := *c; return &cp }
+
+// snapshot implements Column.
+func (c *StringColumn) snapshot() Column { cp := *c; return &cp }
+
+// snapshot implements Column.
+func (c *BoolColumn) snapshot() Column { cp := *c; return &cp }

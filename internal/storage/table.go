@@ -123,6 +123,30 @@ func (t *Table) BlockBounds(b int) (lo, hi int) {
 	return lo, hi
 }
 
+// Snapshot returns a consistent read-only view of the table as of now:
+// a detached Table whose row count and column slice headers are frozen
+// under the table lock. Because storage is append-only, the frozen prefix
+// never mutates, so a snapshot may be scanned freely while writers keep
+// appending to the live table. Concurrent query execution takes a
+// snapshot per scan; direct Column/Row access on a live table is only
+// safe when no writer is active.
+func (t *Table) Snapshot() *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cols := make([]Column, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = c.snapshot()
+	}
+	return &Table{
+		name:      t.name,
+		schema:    t.schema,
+		cols:      cols,
+		blockSize: t.blockSize,
+		rows:      t.rows,
+		version:   t.version,
+	}
+}
+
 // Column returns the i-th column.
 func (t *Table) Column(i int) Column { return t.cols[i] }
 
@@ -183,12 +207,13 @@ type ColumnStats struct {
 
 // Stats computes column statistics with a full scan. It is intentionally
 // exact: the planner experiments need ground truth to compare against.
+// The scan runs over a snapshot, so it is safe under concurrent appends.
 func (t *Table) Stats(colName string) (ColumnStats, error) {
 	idx := t.schema.ColumnIndex(colName)
 	if idx < 0 {
 		return ColumnStats{}, fmt.Errorf("storage: table %s has no column %s", t.name, colName)
 	}
-	col := t.cols[idx]
+	col := t.Snapshot().cols[idx]
 	st := ColumnStats{Name: colName, Type: col.Type()}
 	distinct := make(map[string]struct{})
 	var n float64
