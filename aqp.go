@@ -131,12 +131,21 @@ func WithOLAConfig(cfg OLAConfig) Option {
 	return func(db *DB) { db.olaCfg = cfg }
 }
 
+// WithParallelism sets the default morsel-parallel worker count for every
+// engine. 0 (the default) defers to a per-query context override, a plan
+// hint, or runtime.GOMAXPROCS; 1 forces serial execution. Results are
+// bit-identical regardless of the worker count.
+func WithParallelism(workers int) Option {
+	return func(db *DB) { db.workers = workers }
+}
+
 // DB is the top-level handle: a catalog plus the engine suite.
 type DB struct {
 	catalog    *storage.Catalog
 	onlineCfg  OnlineConfig
 	offlineCfg OfflineConfig
 	olaCfg     OLAConfig
+	workers    int
 
 	exact    *core.ExactEngine
 	online   *core.OnlineEngine
@@ -163,7 +172,13 @@ func Open(cat *storage.Catalog, opts ...Option) *DB {
 	for _, o := range opts {
 		o(db)
 	}
+	if db.workers > 0 {
+		db.onlineCfg.Workers = db.workers
+		db.offlineCfg.Workers = db.workers
+		db.olaCfg.Workers = db.workers
+	}
 	db.exact = core.NewExactEngine(cat)
+	db.exact.Workers = db.workers
 	db.online = core.NewOnlineEngine(cat, db.onlineCfg)
 	db.offline = core.NewOfflineEngine(cat, db.offlineCfg)
 	db.ola = core.NewOLAEngine(cat, db.olaCfg)

@@ -28,6 +28,7 @@ type benchJSON struct {
 	Rows      int        `json:"rows"`
 	Trials    int        `json:"trials"`
 	Seed      int64      `json:"seed"`
+	Workers   int        `json:"workers,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"`
 	Header    []string   `json:"header"`
 	Data      [][]string `json:"data"`
@@ -40,6 +41,7 @@ func main() {
 		rows    = flag.Int("rows", experiments.DefaultScale.Rows, "fact-table rows")
 		trials  = flag.Int("trials", experiments.DefaultScale.Trials, "Monte-Carlo trials")
 		seed    = flag.Int64("seed", experiments.DefaultScale.Seed, "random seed")
+		workers = flag.Int("workers", 0, "morsel-parallel workers per query (0 = GOMAXPROCS)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		jsonOut = flag.Bool("json", false, "also write each table to results/bench_<id>.json")
 		outDir  = flag.String("out", "results", "directory for -json output")
@@ -53,7 +55,7 @@ func main() {
 		return
 	}
 
-	scale := experiments.Scale{Rows: *rows, Trials: *trials, Seed: *seed}
+	scale := experiments.Scale{Rows: *rows, Trials: *trials, Seed: *seed, Workers: *workers}
 	ids := experiments.IDs()
 	if !strings.EqualFold(*exp, "all") {
 		ids = strings.Split(strings.ToUpper(*exp), ",")
@@ -91,6 +93,7 @@ func writeJSON(dir string, tab *experiments.Table, scale experiments.Scale, elap
 		Rows:      scale.Rows,
 		Trials:    scale.Trials,
 		Seed:      scale.Seed,
+		Workers:   scale.Workers,
 		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
 		Header:    tab.Header,
 		Data:      tab.Rows,

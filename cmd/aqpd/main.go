@@ -46,6 +46,7 @@ func main() {
 		genSkew    = flag.Float64("gen-skew", 0, "Zipf skew for the generated workload (0 = uniform)")
 		seed       = flag.Int64("seed", 1, "workload generator seed")
 		workers    = flag.Int("workers", 4, "max concurrently executing queries")
+		qryWorkers = flag.Int("query-workers", 0, "per-query morsel-parallel worker cap (0 = GOMAXPROCS/workers)")
 		queueCap   = flag.Int("queue", 8, "max queries waiting for a worker before shedding")
 		defTimeout = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
@@ -70,10 +71,11 @@ func main() {
 	}
 
 	srv := server.New(db, server.Config{
-		Workers:        *workers,
-		QueueCap:       *queueCap,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxQueryWorkers: *qryWorkers,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -17,11 +17,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/plan"
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -124,6 +126,9 @@ type Diagnostics struct {
 	// cancellation and the result is the best estimate accumulated so
 	// far (online aggregation's graceful degradation).
 	Partial bool
+	// Workers is the resolved morsel-parallel worker count the execution
+	// ran with (1 = serial).
+	Workers int
 	// Messages carries human-readable engine notes.
 	Messages []string
 }
@@ -215,4 +220,15 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// resolveWorkers picks the effective morsel-parallel worker count for a
+// plan execution: a context override wins, then the plan's parallelism
+// hint, then the engine configuration, then runtime.GOMAXPROCS.
+func resolveWorkers(ctx context.Context, p plan.Node, cfgWorkers int) int {
+	hint := plan.Parallelism(p)
+	if hint <= 0 {
+		hint = cfgWorkers
+	}
+	return exec.ResolveWorkers(ctx, hint)
 }

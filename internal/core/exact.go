@@ -14,6 +14,9 @@ import (
 // approximate engine is measured against.
 type ExactEngine struct {
 	Catalog *storage.Catalog
+	// Workers is the morsel-parallel worker count; 0 defers to a context
+	// override or runtime.GOMAXPROCS.
+	Workers int
 }
 
 // NewExactEngine builds an exact engine over the catalog.
@@ -39,13 +42,15 @@ func (e *ExactEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectS
 		return nil, err
 	}
 	plan.ClearSamplers(p)
-	res, err := exec.RunContext(ctx, p)
+	workers := resolveWorkers(ctx, p, e.Workers)
+	res, err := exec.RunParallelContext(ctx, p, workers)
 	if err != nil {
 		return nil, err
 	}
 	out := annotate(stmt, res, spec, TechniqueExact, GuaranteeExact)
 	out.Diagnostics.Latency = time.Since(start)
 	out.Diagnostics.SampleFraction = 1
+	out.Diagnostics.Workers = workers
 	return out, nil
 }
 
@@ -69,7 +74,8 @@ func ExecuteAsWrittenContext(ctx context.Context, cat *storage.Catalog, stmt *sq
 			sampled = true
 		}
 	}
-	res, err := exec.RunContext(ctx, p)
+	workers := resolveWorkers(ctx, p, 0)
+	res, err := exec.RunParallelContext(ctx, p, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -79,6 +85,7 @@ func ExecuteAsWrittenContext(ctx context.Context, cat *storage.Catalog, stmt *sq
 	}
 	out := annotate(stmt, res, spec, tech, g)
 	out.Diagnostics.Latency = time.Since(start)
+	out.Diagnostics.Workers = workers
 	if sampled {
 		out.Diagnostics.SampleFraction = sampleFraction(res.Counters, sampledRows(p))
 	} else {

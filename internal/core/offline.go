@@ -49,6 +49,9 @@ type OfflineConfig struct {
 	StalePolicy StalePolicy
 	// Seed drives sample construction.
 	Seed int64
+	// Workers is the morsel-parallel worker count for sample scans; 0
+	// defers to a context override or runtime.GOMAXPROCS.
+	Workers int
 }
 
 // DefaultOfflineConfig returns caps {64, 256, 1024}, uniform rates
@@ -407,7 +410,7 @@ func (e *OfflineEngine) executeOn(ctx context.Context, s *StoredSample, stmt *sq
 	if err != nil {
 		return nil, err
 	}
-	return exec.RunContext(ctx, p)
+	return exec.RunParallelContext(ctx, p, resolveWorkers(ctx, p, e.Config.Workers))
 }
 
 // Execute implements Engine: pick the cheapest fresh sample certified for
@@ -468,7 +471,7 @@ func (e *OfflineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Selec
 		spec = DefaultErrorSpec
 	}
 	fallback := func(reason string, stale bool) (*Result, error) {
-		res, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
+		res, err := (&ExactEngine{Catalog: e.Catalog, Workers: e.Config.Workers}).ExecuteContext(ctx, stmt, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -515,6 +518,7 @@ func (e *OfflineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Selec
 	out := annotate(stmt, raw, spec, TechniqueOffline, guarantee)
 	out.Diagnostics.Stale = best.stale
 	out.Diagnostics.Latency = time.Since(start)
+	out.Diagnostics.Workers = exec.ResolveWorkers(ctx, e.Config.Workers)
 	if t, err := e.Catalog.Table(table); err == nil && t.NumRows() > 0 {
 		out.Diagnostics.SampleFraction = float64(best.rows) / float64(t.NumRows())
 	}

@@ -6,8 +6,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
@@ -34,7 +37,18 @@ type OLAConfig struct {
 	MaxBuildRows int
 	// Seed drives the row permutation.
 	Seed int64
+	// Workers is the morsel-parallel worker count for chunk processing;
+	// 0 defers to a context override or runtime.GOMAXPROCS. Estimates are
+	// bit-identical for every worker count: the permuted order is cut into
+	// fixed shards and shard results merge in shard order.
+	Workers int
 }
+
+// olaShardRows is the fixed shard size within a chunk. Shard boundaries
+// depend only on the chunk bounds, never on the worker count, so float
+// accumulation order — shard-local sums folded in shard order — is the
+// same no matter how many workers ran.
+const olaShardRows = 1024
 
 // DefaultOLAConfig processes 4096-row chunks up to the full table and
 // joins dimensions up to one million rows.
@@ -130,7 +144,7 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 	}
 	ok, reason := e.supported(stmt)
 	if !ok {
-		res, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
+		res, err := (&ExactEngine{Catalog: e.Catalog, Workers: e.Config.Workers}).ExecuteContext(ctx, stmt, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -195,105 +209,13 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 		limit = n
 	}
 
+	q := &olaQuery{t: t, joins: joins, where: where, groupExprs: groupExprs,
+		aggs: aggs, argExprs: argExprs, perm: perm}
+	workers := exec.ResolveWorkers(ctx, e.Config.Workers)
+
 	groups := make(map[string]*olaGroup)
-	keyBuf := make([]storage.Value, len(groupExprs))
 	read := 0
 	stoppedEarly := false
-
-	// Per-fact-row totals: the fact row is the sampling unit, so for
-	// SUM/COUNT variance the contributions of all its joined rows must be
-	// summed before entering the accumulators.
-	type rowTotals struct {
-		vals  []storage.Value
-		total []float64 // per slot: summed SUM/COUNT contribution
-		seen  []bool    // per slot: contributed at all
-	}
-	factTotals := make(map[string]*rowTotals)
-
-	processCombined := func(row expr.Row) error {
-		if where != nil {
-			keep, err := expr.EvalBool(where, row)
-			if err != nil || !keep {
-				return err
-			}
-		}
-		for k2, ge := range groupExprs {
-			v, err := ge.Eval(row)
-			if err != nil {
-				return err
-			}
-			keyBuf[k2] = v
-		}
-		key := sampleKey(keyBuf)
-		g, ok := groups[key]
-		if !ok {
-			g = &olaGroup{key: key, vals: append([]storage.Value(nil), keyBuf...),
-				aggs: make([]olaAgg, len(aggs))}
-			groups[key] = g
-		}
-		rt, ok := factTotals[key]
-		if !ok {
-			rt = &rowTotals{total: make([]float64, len(aggs)), seen: make([]bool, len(aggs))}
-			factTotals[key] = rt
-		}
-		for ai, a := range aggs {
-			var z float64
-			switch a.Func {
-			case sqlparse.AggCount:
-				z = 1
-				if !a.Star && argExprs[ai] != nil {
-					v, err := argExprs[ai].Eval(row)
-					if err != nil {
-						return err
-					}
-					if v.IsNull() {
-						continue
-					}
-				}
-				rt.total[ai] += z
-				rt.seen[ai] = true
-			case sqlparse.AggSum:
-				v, err := argExprs[ai].Eval(row)
-				if err != nil {
-					return err
-				}
-				if v.IsNull() {
-					continue
-				}
-				rt.total[ai] += v.AsFloat()
-				rt.seen[ai] = true
-			default: // AVG: the joined row is the value unit
-				v, err := argExprs[ai].Eval(row)
-				if err != nil {
-					return err
-				}
-				if v.IsNull() {
-					continue
-				}
-				z = v.AsFloat()
-				g.aggs[ai].sum += z
-				g.aggs[ai].sumsq += z * z
-				g.aggs[ai].n++
-			}
-		}
-		return nil
-	}
-
-	flushFactRow := func() {
-		for key, rt := range factTotals {
-			g := groups[key]
-			for ai := range aggs {
-				if !rt.seen[ai] {
-					continue
-				}
-				z := rt.total[ai]
-				g.aggs[ai].sum += z
-				g.aggs[ai].sumsq += z * z
-				g.aggs[ai].n++
-			}
-			delete(factTotals, key)
-		}
-	}
 
 	var final *Result
 	deadlineStopped := false
@@ -308,38 +230,10 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 		if chunkEnd > limit {
 			chunkEnd = limit
 		}
-		for ; read < chunkEnd; read++ {
-			ri := perm[read]
-			if len(joins) == 0 {
-				if err := processCombined(tableRowAdapter{t: t, idx: ri}); err != nil {
-					return nil, err
-				}
-				flushFactRow()
-				continue
-			}
-			// Expand the fact row through the dimension hash tables.
-			rows := [][]storage.Value{t.Row(ri)}
-			for _, j := range joins {
-				var next [][]storage.Value
-				for _, r := range rows {
-					matches, err := j.probe(r)
-					if err != nil {
-						return nil, err
-					}
-					next = append(next, matches...)
-				}
-				rows = next
-				if len(rows) == 0 {
-					break
-				}
-			}
-			for _, r := range rows {
-				if err := processCombined(expr.ValuesRow(r)); err != nil {
-					return nil, err
-				}
-			}
-			flushFactRow()
+		if err := processOLAChunk(q, groups, read, chunkEnd, workers); err != nil {
+			return nil, err
 		}
+		read = chunkEnd
 		final = e.checkpoint(stmt, aggs, groups, read, n, spec)
 		p := Progress{RowsRead: read, Fraction: float64(read) / float64(n), Result: final}
 		if observe != nil && !observe(p) {
@@ -356,6 +250,7 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 	}
 	final.Diagnostics.Latency = time.Since(start)
 	final.Diagnostics.SampleFraction = float64(read) / math.Max(float64(n), 1)
+	final.Diagnostics.Workers = workers
 	final.Diagnostics.Counters.RowsScanned = int64(read)
 	final.Diagnostics.Counters.RowsEmitted = int64(read)
 	final.Diagnostics.Counters.Passes = 1
@@ -370,6 +265,244 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 			"ola: deadline/cancellation after %d of %d rows; returning best progressive estimate", read, n))
 	}
 	return final, nil
+}
+
+// olaQuery bundles the read-only pieces every shard worker shares: the
+// snapshot, prebuilt dimension hash tables, bound expressions (expression
+// evaluation is pure), and the row permutation.
+type olaQuery struct {
+	t          *storage.Table
+	joins      []*olaJoin
+	where      expr.Expr
+	groupExprs []expr.Expr
+	aggs       []*sqlparse.AggExpr
+	argExprs   []expr.Expr
+	perm       []int
+}
+
+// olaRowTotals holds per-fact-row totals: the fact row is the sampling
+// unit, so for SUM/COUNT variance the contributions of all its joined
+// rows must be summed before entering the accumulators.
+type olaRowTotals struct {
+	total []float64 // per slot: summed SUM/COUNT contribution
+	seen  []bool    // per slot: contributed at all
+}
+
+// olaShardState accumulates one shard of the permuted order into private
+// group accumulators, later folded into the global state in shard order.
+type olaShardState struct {
+	q          *olaQuery
+	groups     map[string]*olaGroup
+	keyBuf     []storage.Value
+	factTotals map[string]*olaRowTotals
+}
+
+func newOLAShardState(q *olaQuery) *olaShardState {
+	return &olaShardState{q: q,
+		groups:     make(map[string]*olaGroup),
+		keyBuf:     make([]storage.Value, len(q.groupExprs)),
+		factTotals: make(map[string]*olaRowTotals)}
+}
+
+// processPermRows consumes permuted positions [lo, hi).
+func (sh *olaShardState) processPermRows(lo, hi int) error {
+	q := sh.q
+	for i := lo; i < hi; i++ {
+		ri := q.perm[i]
+		if len(q.joins) == 0 {
+			if err := sh.processCombined(tableRowAdapter{t: q.t, idx: ri}); err != nil {
+				return err
+			}
+			sh.flushFactRow()
+			continue
+		}
+		// Expand the fact row through the dimension hash tables.
+		rows := [][]storage.Value{q.t.Row(ri)}
+		for _, j := range q.joins {
+			var next [][]storage.Value
+			for _, r := range rows {
+				matches, err := j.probe(r)
+				if err != nil {
+					return err
+				}
+				next = append(next, matches...)
+			}
+			rows = next
+			if len(rows) == 0 {
+				break
+			}
+		}
+		for _, r := range rows {
+			if err := sh.processCombined(expr.ValuesRow(r)); err != nil {
+				return err
+			}
+		}
+		sh.flushFactRow()
+	}
+	return nil
+}
+
+func (sh *olaShardState) processCombined(row expr.Row) error {
+	q := sh.q
+	if q.where != nil {
+		keep, err := expr.EvalBool(q.where, row)
+		if err != nil || !keep {
+			return err
+		}
+	}
+	for k2, ge := range q.groupExprs {
+		v, err := ge.Eval(row)
+		if err != nil {
+			return err
+		}
+		sh.keyBuf[k2] = v
+	}
+	key := sampleKey(sh.keyBuf)
+	g, ok := sh.groups[key]
+	if !ok {
+		g = &olaGroup{key: key, vals: append([]storage.Value(nil), sh.keyBuf...),
+			aggs: make([]olaAgg, len(q.aggs))}
+		sh.groups[key] = g
+	}
+	rt, ok := sh.factTotals[key]
+	if !ok {
+		rt = &olaRowTotals{total: make([]float64, len(q.aggs)), seen: make([]bool, len(q.aggs))}
+		sh.factTotals[key] = rt
+	}
+	for ai, a := range q.aggs {
+		var z float64
+		switch a.Func {
+		case sqlparse.AggCount:
+			z = 1
+			if !a.Star && q.argExprs[ai] != nil {
+				v, err := q.argExprs[ai].Eval(row)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					continue
+				}
+			}
+			rt.total[ai] += z
+			rt.seen[ai] = true
+		case sqlparse.AggSum:
+			v, err := q.argExprs[ai].Eval(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			rt.total[ai] += v.AsFloat()
+			rt.seen[ai] = true
+		default: // AVG: the joined row is the value unit
+			v, err := q.argExprs[ai].Eval(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			z = v.AsFloat()
+			g.aggs[ai].sum += z
+			g.aggs[ai].sumsq += z * z
+			g.aggs[ai].n++
+		}
+	}
+	return nil
+}
+
+func (sh *olaShardState) flushFactRow() {
+	for key, rt := range sh.factTotals {
+		g := sh.groups[key]
+		for ai := range sh.q.aggs {
+			if !rt.seen[ai] {
+				continue
+			}
+			z := rt.total[ai]
+			g.aggs[ai].sum += z
+			g.aggs[ai].sumsq += z * z
+			g.aggs[ai].n++
+		}
+		delete(sh.factTotals, key)
+	}
+}
+
+// processOLAChunk consumes permuted positions [lo, hi), cut into fixed
+// olaShardRows shards. Each shard accumulates into a fresh olaShardState
+// and folds into groups in shard order; a single worker runs the shards
+// sequentially through the same code, so estimates are bit-identical for
+// every worker count. The chunk is bounded work: cancellation is observed
+// between chunks by the caller, preserving OLA's graceful degradation.
+func processOLAChunk(q *olaQuery, groups map[string]*olaGroup, lo, hi, workers int) error {
+	nShards := (hi - lo + olaShardRows - 1) / olaShardRows
+	if workers > nShards {
+		workers = nShards
+	}
+	shards := make([]*olaShardState, nShards)
+	runShard := func(s int) error {
+		sh := newOLAShardState(q)
+		slo := lo + s*olaShardRows
+		shi := slo + olaShardRows
+		if shi > hi {
+			shi = hi
+		}
+		if err := sh.processPermRows(slo, shi); err != nil {
+			return err
+		}
+		shards[s] = sh
+		return nil
+	}
+	if workers <= 1 {
+		for s := 0; s < nShards; s++ {
+			if err := runShard(s); err != nil {
+				return err
+			}
+		}
+	} else {
+		var (
+			next     int64
+			wg       sync.WaitGroup
+			once     sync.Once
+			firstErr error
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(atomic.AddInt64(&next, 1)) - 1
+					if s >= nShards {
+						return
+					}
+					if err := runShard(s); err != nil {
+						once.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	// Ordered reduction: shard-local sums fold in shard order.
+	for _, sh := range shards {
+		for key, g := range sh.groups {
+			dst, ok := groups[key]
+			if !ok {
+				groups[key] = g
+				continue
+			}
+			for ai := range dst.aggs {
+				dst.aggs[ai].sum += g.aggs[ai].sum
+				dst.aggs[ai].sumsq += g.aggs[ai].sumsq
+				dst.aggs[ai].n += g.aggs[ai].n
+			}
+		}
+	}
+	return nil
 }
 
 // checkpoint materializes the current estimates into an annotated Result.

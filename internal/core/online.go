@@ -49,6 +49,9 @@ type OnlineConfig struct {
 	MinExpectedSampleRows float64
 	// Seed drives sampler determinism.
 	Seed int64
+	// Workers is the morsel-parallel worker count; 0 defers to a context
+	// override or runtime.GOMAXPROCS.
+	Workers int
 }
 
 // DefaultOnlineConfig returns the engine defaults: 1% sampling, sampling
@@ -101,6 +104,12 @@ func NewOnlineEngine(cat *storage.Catalog, cfg OnlineConfig) *OnlineEngine {
 	return &OnlineEngine{Catalog: cat, Config: cfg,
 		cache:      make(map[string]*cachedSample),
 		histograms: make(map[string]*sketch.EquiDepthHistogram)}
+}
+
+// exactEngine builds the exact-fallback engine, inheriting the worker
+// configuration so fallbacks run at the same parallelism.
+func (e *OnlineEngine) exactEngine() *ExactEngine {
+	return &ExactEngine{Catalog: e.Catalog, Workers: e.Config.Workers}
 }
 
 // AttachHistogram registers a selectivity estimator for table.column,
@@ -188,7 +197,7 @@ func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Select
 		spec = DefaultErrorSpec
 	}
 	if ok, reason := supportedForSampling(stmt); !ok {
-		res, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
+		res, err := e.exactEngine().ExecuteContext(ctx, stmt, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +213,7 @@ func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Select
 	}
 	planned, notes := e.placeSamplers(stmt, p)
 	if !planned {
-		res, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
+		res, err := e.exactEngine().ExecuteContext(ctx, stmt, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +231,7 @@ func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Select
 			}
 			if q, ok := e.estimatedQualifyingRows(s); ok {
 				if expected := q * s.Sample.Rate; expected < e.Config.MinExpectedSampleRows {
-					res, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
+					res, err := e.exactEngine().ExecuteContext(ctx, stmt, spec)
 					if err != nil {
 						return nil, err
 					}
@@ -242,16 +251,18 @@ func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Select
 		}
 	}
 
-	raw, err := exec.RunContext(ctx, p)
+	workers := resolveWorkers(ctx, p, e.Config.Workers)
+	raw, err := exec.RunParallelContext(ctx, p, workers)
 	if err != nil {
 		return nil, err
 	}
 	out := annotate(stmt, raw, spec, TechniqueOnline, GuaranteeAPosteriori)
 	out.Diagnostics.Messages = append(out.Diagnostics.Messages, notes...)
 	out.Diagnostics.SampleFraction = sampleFraction(raw.Counters, sampledRows(p))
+	out.Diagnostics.Workers = workers
 
 	if !out.Diagnostics.SpecSatisfied && e.Config.FallbackToExact {
-		exactRes, err := NewExactEngine(e.Catalog).ExecuteContext(ctx, stmt, spec)
+		exactRes, err := e.exactEngine().ExecuteContext(ctx, stmt, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -341,13 +352,15 @@ func (e *OnlineEngine) tryCached(ctx context.Context, stmt *sqlparse.SelectStmt,
 	if err != nil {
 		return nil, true, err
 	}
-	raw, err := exec.RunContext(ctx, p2)
+	workers := resolveWorkers(ctx, p2, e.Config.Workers)
+	raw, err := exec.RunParallelContext(ctx, p2, workers)
 	if err != nil {
 		return nil, true, err
 	}
 	raw.Counters.RowsScanned += builtRows // the build pass is real work
 	out := annotate(stmt, raw, spec, TechniqueOnline, GuaranteeAPosteriori)
 	out.Diagnostics.Messages = append(out.Diagnostics.Messages, notes...)
+	out.Diagnostics.Workers = workers
 	if base.NumRows() > 0 {
 		out.Diagnostics.SampleFraction = float64(c.data.NumRows()) / float64(base.NumRows())
 	}

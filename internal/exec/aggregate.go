@@ -96,10 +96,21 @@ func (op *hashAggOp) Next() (*Batch, error) {
 		}
 	}
 
+	out := finalizeGroups(op.node, groups)
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// finalizeGroups renders accumulated group states to an output batch with
+// per-group statistical details, ordered by canonical group key. Shared
+// by the serial hash aggregate and the morsel-parallel operator.
+func finalizeGroups(node *plan.Aggregate, groups map[string]*groupState) *Batch {
 	// SQL semantics: a global aggregate over empty input yields one row.
-	if len(groups) == 0 && len(op.node.GroupBy) == 0 {
+	if len(groups) == 0 && len(node.GroupBy) == 0 {
 		gs := &groupState{key: ""}
-		gs.aggs = make([]*aggState, len(op.node.Aggs))
+		gs.aggs = make([]*aggState, len(node.Aggs))
 		for j := range gs.aggs {
 			gs.aggs[j] = &aggState{}
 		}
@@ -118,7 +129,7 @@ func (op *hashAggOp) Next() (*Batch, error) {
 		row := make([]storage.Value, 0, len(gs.groupVal)+len(gs.aggs))
 		row = append(row, gs.groupVal...)
 		detail := &GroupDetail{Key: gs.key, GroupN: gs.n, Aggs: make([]AggDetail, len(gs.aggs))}
-		for j, spec := range op.node.Aggs {
+		for j, spec := range node.Aggs {
 			v, d := finalize(gs.aggs[j], spec)
 			row = append(row, v)
 			detail.Aggs[j] = d
@@ -126,10 +137,7 @@ func (op *hashAggOp) Next() (*Batch, error) {
 		out.Rows = append(out.Rows, row)
 		out.Details = append(out.Details, detail)
 	}
-	if out.Len() == 0 {
-		return nil, nil
-	}
-	return out, nil
+	return out
 }
 
 func accumulate(st *aggState, spec plan.AggSpec, r expr.Row, w float64) error {

@@ -1,0 +1,212 @@
+package exec
+
+// Compiled row kernels for the morsel-parallel hot loop.
+//
+// The tree-walking evaluator allocates a Row adapter per row and pays an
+// interface dispatch plus Value boxing per expression node. For the
+// expression shapes that dominate aggregate scans — column references,
+// numeric literals, arithmetic, comparisons, AND/OR — we compile the tree
+// once per morsel run into closures that read the typed column storage
+// directly. Compilation is best-effort: any unsupported node returns a
+// nil kernel and the caller falls back to the general evaluator for that
+// expression only.
+//
+// Faithfulness: every kernel reproduces the tree-walker's float operation
+// sequence exactly (AsFloat conversions, NULL propagation, short-circuit
+// two-valued logic, division-by-zero to NULL), so fast and slow paths are
+// bit-identical and the choice never changes a result.
+
+import (
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// numKernel evaluates a numeric expression for one table row, returning
+// the value as float64 (the evaluator's AsFloat form) and a NULL flag.
+type numKernel func(row int) (float64, bool)
+
+// boolKernel evaluates a predicate for one table row with SQL
+// three-valued logic collapsed to two-valued (NULL is false).
+type boolKernel func(row int) bool
+
+// colMap translates an expression's bound column index to a table column
+// index; nil means identity (the expression is bound to the table schema).
+type colMap []int
+
+func (m colMap) col(i int) int {
+	if m == nil {
+		return i
+	}
+	return m[i]
+}
+
+// compileNum compiles a numeric expression against t, or returns nil.
+func compileNum(e expr.Expr, t *storage.Table, m colMap) numKernel {
+	switch n := e.(type) {
+	case *expr.ColRef:
+		switch c := t.Column(m.col(n.Index)).(type) {
+		case *storage.Int64Column:
+			return func(row int) (float64, bool) {
+				if c.IsNull(row) {
+					return 0, true
+				}
+				return float64(c.Int(row)), false
+			}
+		case *storage.Float64Column:
+			return func(row int) (float64, bool) {
+				if c.IsNull(row) {
+					return 0, true
+				}
+				return c.Float(row), false
+			}
+		}
+		return nil
+	case *expr.Lit:
+		if !n.Val.Typ.Numeric() {
+			return nil
+		}
+		v, null := n.Val.AsFloat(), n.Val.IsNull()
+		return func(int) (float64, bool) { return v, null }
+	case *expr.Binary:
+		// Integer-typed Add/Sub/Mul use int64 arithmetic in the tree
+		// walker; only the float branch is compiled, which evalArith takes
+		// exactly when either operand is (or division makes the result)
+		// TypeFloat64.
+		if n.Type() != storage.TypeFloat64 {
+			return nil
+		}
+		l := compileNum(n.L, t, m)
+		r := compileNum(n.R, t, m)
+		if l == nil || r == nil {
+			return nil
+		}
+		switch n.Op {
+		case expr.OpAdd:
+			return func(row int) (float64, bool) {
+				a, an := l(row)
+				b, bn := r(row)
+				if an || bn {
+					return 0, true
+				}
+				return a + b, false
+			}
+		case expr.OpSub:
+			return func(row int) (float64, bool) {
+				a, an := l(row)
+				b, bn := r(row)
+				if an || bn {
+					return 0, true
+				}
+				return a - b, false
+			}
+		case expr.OpMul:
+			return func(row int) (float64, bool) {
+				a, an := l(row)
+				b, bn := r(row)
+				if an || bn {
+					return 0, true
+				}
+				return a * b, false
+			}
+		case expr.OpDiv:
+			return func(row int) (float64, bool) {
+				a, an := l(row)
+				b, bn := r(row)
+				if an || bn || b == 0 {
+					return 0, true
+				}
+				return a / b, false
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// compileBool compiles a predicate against t, or returns nil.
+func compileBool(e expr.Expr, t *storage.Table, m colMap) boolKernel {
+	switch n := e.(type) {
+	case *expr.ColRef:
+		if n.Typ != storage.TypeBool {
+			return nil
+		}
+		c := t.Column(m.col(n.Index))
+		return func(row int) bool {
+			v := c.Value(row)
+			return !v.IsNull() && v.B
+		}
+	case *expr.Binary:
+		switch n.Op {
+		case expr.OpAnd:
+			l := compileBool(n.L, t, m)
+			r := compileBool(n.R, t, m)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(row int) bool { return l(row) && r(row) }
+		case expr.OpOr:
+			l := compileBool(n.L, t, m)
+			r := compileBool(n.R, t, m)
+			if l == nil || r == nil {
+				return nil
+			}
+			return func(row int) bool { return l(row) || r(row) }
+		}
+		if !n.Op.Comparison() {
+			return nil
+		}
+		// Value.Equal compares same-typed int64s as integers; beyond 2^53
+		// a float comparison could disagree, so Eq/Ne require a float
+		// operand. The ordering operators always go through Value.Compare,
+		// which promotes every numeric pair to float64.
+		if n.Op == expr.OpEq || n.Op == expr.OpNe {
+			if n.L.Type() != storage.TypeFloat64 && n.R.Type() != storage.TypeFloat64 {
+				return nil
+			}
+		}
+		l := compileNum(n.L, t, m)
+		r := compileNum(n.R, t, m)
+		if l == nil || r == nil {
+			return nil
+		}
+		switch n.Op {
+		case expr.OpEq:
+			return func(row int) bool {
+				a, an := l(row)
+				b, bn := r(row)
+				return !an && !bn && a == b
+			}
+		case expr.OpNe:
+			return func(row int) bool {
+				a, an := l(row)
+				b, bn := r(row)
+				return !an && !bn && a != b
+			}
+		case expr.OpLt:
+			return func(row int) bool {
+				a, an := l(row)
+				b, bn := r(row)
+				return !an && !bn && a < b
+			}
+		case expr.OpLe:
+			return func(row int) bool {
+				a, an := l(row)
+				b, bn := r(row)
+				return !an && !bn && a <= b
+			}
+		case expr.OpGt:
+			return func(row int) bool {
+				a, an := l(row)
+				b, bn := r(row)
+				return !an && !bn && a > b
+			}
+		case expr.OpGe:
+			return func(row int) bool {
+				a, an := l(row)
+				b, bn := r(row)
+				return !an && !bn && a >= b
+			}
+		}
+	}
+	return nil
+}

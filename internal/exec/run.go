@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/plan"
+	"repro/internal/storage"
 )
 
 // BuildOperator compiles a logical plan into a physical operator tree.
@@ -79,10 +80,16 @@ func RunContext(ctx context.Context, root plan.Node) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return drainOperator(ctx, op, root.Schema(), &counters)
+}
+
+// drainOperator opens op, drains it to a materialized Result under ctx,
+// and closes it. Shared by the serial and morsel-parallel entry points.
+func drainOperator(ctx context.Context, op Operator, schema storage.Schema, counters *Counters) (*Result, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
-	res := &Result{Schema: root.Schema()}
+	res := &Result{Schema: schema}
 	for {
 		if err := ctx.Err(); err != nil {
 			_ = op.Close()
@@ -122,6 +129,6 @@ func RunContext(ctx context.Context, root plan.Node) (*Result, error) {
 	if err := op.Close(); err != nil {
 		return nil, err
 	}
-	res.Counters = counters
+	res.Counters = *counters
 	return res, nil
 }

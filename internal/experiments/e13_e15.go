@@ -32,7 +32,7 @@ func runE13(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	truth, err := exactFloat(ev.Catalog, "SELECT SUM(ev_value) FROM events")
+	truth, err := exactFloat(ev.Catalog, "SELECT SUM(ev_value) FROM events", s.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +48,7 @@ func runE13(s Scale) (*Table, error) {
 	var plainRows int
 	for tr := 0; tr < s.Trials; tr++ {
 		spec := &sample.Spec{Kind: sample.KindUniformRow, Rate: plainRate, Seed: s.Seed + int64(tr)*7}
-		res, err := runSampled(ev.Catalog, "SELECT SUM(ev_value) FROM events", "events", spec)
+		res, err := runSampled(ev.Catalog, "SELECT SUM(ev_value) FROM events", "events", spec, s.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +206,7 @@ func runE15(s Scale) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		truth, err := exactFloat(cat, sqlQ)
+		truth, err := exactFloat(cat, sqlQ, s.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +225,7 @@ func runE15(s Scale) (*Table, error) {
 			for tr := 0; tr < s.Trials; tr++ {
 				spec := m.spec
 				spec.Seed = s.Seed + int64(tr)*19
-				res, err := runSampled(cat, sqlQ, "t", &spec)
+				res, err := runSampled(cat, sqlQ, "t", &spec, s.Workers)
 				if err != nil {
 					return nil, err
 				}

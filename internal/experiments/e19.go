@@ -26,7 +26,7 @@ func runE19(s Scale) (*Table, error) {
 		Header: []string{"quantile", "rate", "mean_rel_err", "max_rel_err", "dkw_coverage", "mean_rel_width"}}
 	for _, q := range []float64{0.5, 0.9, 0.99} {
 		sql := fmt.Sprintf("SELECT PERCENTILE(ev_value, %g) FROM events", q)
-		truth, err := exactFloat(ev.Catalog, sql)
+		truth, err := exactFloat(ev.Catalog, sql, s.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -36,7 +36,7 @@ func runE19(s Scale) (*Table, error) {
 			for tr := 0; tr < s.Trials; tr++ {
 				spec := &sample.Spec{Kind: sample.KindUniformRow, Rate: rate,
 					Seed: s.Seed + int64(tr)*23}
-				res, err := runSampled(ev.Catalog, sql, "events", spec)
+				res, err := runSampled(ev.Catalog, sql, "events", spec, s.Workers)
 				if err != nil {
 					return nil, err
 				}

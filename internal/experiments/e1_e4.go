@@ -23,8 +23,9 @@ func init() {
 }
 
 // runSampled executes sql after forcing the given sampler spec onto the
-// named table, returning the annotated executor result.
-func runSampled(cat *storage.Catalog, sql, table string, spec *sample.Spec) (*exec.Result, error) {
+// named table, returning the annotated executor result. workers sets the
+// morsel-parallel worker count (0 defers to runtime.GOMAXPROCS).
+func runSampled(cat *storage.Catalog, sql, table string, spec *sample.Spec, workers int) (*exec.Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -40,15 +41,15 @@ func runSampled(cat *storage.Catalog, sql, table string, spec *sample.Spec) (*ex
 		// Re-run the weight alignment in case of correlated samplers.
 		_ = plan.Optimize(p)
 	}
-	return exec.Run(p)
+	return exec.RunParallel(p, workers)
 }
 
-func exactFloat(cat *storage.Catalog, sql string) (float64, error) {
+func exactFloat(cat *storage.Catalog, sql string, workers int) (float64, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return 0, err
 	}
-	res, err := core.NewExactEngine(cat).Execute(stmt, core.DefaultErrorSpec)
+	res, err := (&core.ExactEngine{Catalog: cat, Workers: workers}).Execute(stmt, core.DefaultErrorSpec)
 	if err != nil {
 		return 0, err
 	}
@@ -74,7 +75,7 @@ func runE1(s Scale) (*Table, error) {
 	}
 	truth := make([]float64, len(aggs))
 	for i, a := range aggs {
-		truth[i], err = exactFloat(ev.Catalog, a.sql)
+		truth[i], err = exactFloat(ev.Catalog, a.sql, s.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +89,7 @@ func runE1(s Scale) (*Table, error) {
 			for tr := 0; tr < s.Trials; tr++ {
 				spec := &sample.Spec{Kind: sample.KindUniformRow, Rate: rate,
 					Seed: s.Seed + int64(tr)*1001}
-				res, err := runSampled(ev.Catalog, a.sql, "events", spec)
+				res, err := runSampled(ev.Catalog, a.sql, "events", spec, s.Workers)
 				if err != nil {
 					return nil, err
 				}
@@ -129,7 +130,7 @@ func runE2(s Scale) (*Table, error) {
 		return nil, err
 	}
 	sql := "SELECT SUM(l_extendedprice * (1 - l_discount)) FROM lineitem"
-	truth, err := exactFloat(star.Catalog, sql)
+	truth, err := exactFloat(star.Catalog, sql, s.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +140,7 @@ func runE2(s Scale) (*Table, error) {
 		reps := 3
 		for r := 0; r < reps; r++ {
 			t0 := time.Now()
-			res, err := runSampled(star.Catalog, sql, "lineitem", spec)
+			res, err := runSampled(star.Catalog, sql, "lineitem", spec, s.Workers)
 			if err != nil {
 				return 0, nil, err
 			}
@@ -219,7 +220,7 @@ func runE3(s Scale) (*Table, error) {
 			for tr := 0; tr < s.Trials; tr++ {
 				spec := m.spec
 				spec.Seed = s.Seed + int64(tr)*31
-				res, err := runSampled(ev.Catalog, sql, "events", &spec)
+				res, err := runSampled(ev.Catalog, sql, "events", &spec, s.Workers)
 				if err != nil {
 					return nil, err
 				}
@@ -302,7 +303,7 @@ func runE4(s Scale) (*Table, error) {
 					return nil, err
 				}
 				st.build(p, rate, s.Seed+int64(tr)*77)
-				res, err := exec.Run(p)
+				res, err := exec.RunParallel(p, s.Workers)
 				if err != nil {
 					return nil, err
 				}

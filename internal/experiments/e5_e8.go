@@ -159,7 +159,7 @@ func runE6(s Scale) (*Table, error) {
 				return nil, err
 			}
 		}
-		truth, err := exactFloat(ev.Catalog, sql)
+		truth, err := exactFloat(ev.Catalog, sql, s.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -252,7 +252,7 @@ func runE7(s Scale) (*Table, error) {
 	t := &Table{ID: "E7", Title: "empirical coverage of nominal 95% confidence intervals",
 		Header: []string{"scenario", "trials", "coverage", "mean_ci_rel", "mean_relerr"}}
 	for _, sc := range scenarios {
-		truth, err := exactFloat(sc.cat, sc.sql)
+		truth, err := exactFloat(sc.cat, sc.sql, s.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -266,7 +266,7 @@ func runE7(s Scale) (*Table, error) {
 				return nil, err
 			}
 			sc.apply(p, s.Seed+int64(tr)*131)
-			res, err := exec.Run(p)
+			res, err := exec.RunParallel(p, s.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -357,7 +357,7 @@ func runE8(s Scale) (*Table, error) {
 		if ok, _ := supportedLinear(pr.sql); ok {
 			spec := &sample.Spec{Kind: sample.KindUniformRow, Rate: 0.01, Seed: s.Seed}
 			t0 = time.Now()
-			res, err := runSampled(ev.Catalog, pr.sql, "events", spec)
+			res, err := runSampled(ev.Catalog, pr.sql, "events", spec, s.Workers)
 			if err == nil && res.NumRows() > 0 {
 				t.AddRow(pr.name, "uniform-1%", time.Since(t0).Round(time.Microsecond).String(),
 					itoa(res.Counters.RowsScanned), f4(relErr(res.Rows[0][0].AsFloat(), truth)))

@@ -156,7 +156,7 @@ func runE11(s Scale) (*Table, error) {
 		return nil, err
 	}
 	sql := "SELECT SUM(ev_value) AS s FROM events"
-	truth, err := exactFloat(ev.Catalog, sql)
+	truth, err := exactFloat(ev.Catalog, sql, s.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,10 @@ type Scale struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers is the morsel-parallel worker count every query runs with;
+	// 0 defers to runtime.GOMAXPROCS. Results are worker-count-invariant,
+	// so tables are byte-identical across Workers settings.
+	Workers int
 }
 
 // DefaultScale is the CLI default.

@@ -266,10 +266,10 @@ func TestE15ClusteredBlocksDegrade(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) < 19 {
+	if len(ids) < 20 {
 		t.Fatalf("experiments registered = %d", len(ids))
 	}
-	if ids[0] != "E1" || ids[len(ids)-1] != "E19" {
+	if ids[0] != "E1" || ids[len(ids)-1] != "E20" {
 		t.Errorf("ordering: %v", ids)
 	}
 	for _, id := range ids {

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// goldenIDs are the experiments whose tables contain no wall-clock
+// columns, so their rendered output is a pure function of (Rows, Trials,
+// Seed) — and, by the morsel executor's deterministic merge, independent
+// of the worker count. E2 and E20 report latencies and are excluded.
+var goldenIDs = []string{"E1", "E3", "E4"}
+
+func goldenScale(workers int) Scale {
+	return Scale{Rows: 4000, Trials: 3, Seed: 42, Workers: workers}
+}
+
+// TestGoldenDeterminism runs each timing-free experiment twice at the
+// same scale and requires byte-identical tables: same seed, same output,
+// down to the formatting.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			first, err := Run(id, goldenScale(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(id, goldenScale(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.String() != second.String() {
+				t.Errorf("%s is not run-to-run deterministic:\n--- first\n%s\n--- second\n%s",
+					id, first, second)
+			}
+		})
+	}
+}
+
+// TestGoldenWorkerInvariance runs each timing-free experiment serially
+// and with four morsel workers and requires byte-identical tables: the
+// parallel executor merges partials in morsel order, so estimates, CIs,
+// and every derived statistic must not move when the worker count does.
+func TestGoldenWorkerInvariance(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serial, err := Run(id, goldenScale(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := Run(id, goldenScale(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.String() != parallel.String() {
+				t.Errorf("%s output depends on worker count:\n--- workers=1\n%s\n--- workers=4\n%s",
+					id, serial, parallel)
+			}
+		})
+	}
+}

@@ -404,8 +404,24 @@ func (c *Call) Type() storage.Type {
 	return storage.TypeFloat64
 }
 
-// String implements Expr.
+// String implements Expr. The predicates the parser desugars (LIKE,
+// IS [NOT] NULL) render back in their SQL spelling so that a statement's
+// String() re-parses; everything else uses call syntax.
 func (c *Call) String() string {
+	switch c.Name {
+	case "LIKE":
+		if len(c.Args) == 2 {
+			return fmt.Sprintf("(%s LIKE %s)", c.Args[0], c.Args[1])
+		}
+	case "ISNULL":
+		if len(c.Args) == 1 {
+			return fmt.Sprintf("(%s IS NULL)", c.Args[0])
+		}
+	case "ISNOTNULL":
+		if len(c.Args) == 1 {
+			return fmt.Sprintf("(%s IS NOT NULL)", c.Args[0])
+		}
+	}
 	parts := make([]string, len(c.Args))
 	for i, e := range c.Args {
 		parts[i] = e.String()

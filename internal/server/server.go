@@ -13,10 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	aqp "repro"
 	"repro/internal/core"
+	"repro/internal/exec"
 )
 
 // Config tunes the service.
@@ -31,6 +33,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested timeouts (default 5m).
 	MaxTimeout time.Duration
+	// MaxQueryWorkers caps the per-query morsel-parallel worker count so
+	// that Workers concurrent queries cannot oversubscribe the machine:
+	// the default is max(1, GOMAXPROCS/Workers). Requests asking for more
+	// are clamped, not rejected.
+	MaxQueryWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +52,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxQueryWorkers <= 0 {
+		c.MaxQueryWorkers = runtime.GOMAXPROCS(0) / c.Workers
+		if c.MaxQueryWorkers < 1 {
+			c.MaxQueryWorkers = 1
+		}
 	}
 	return c
 }
@@ -153,6 +166,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+
+	// Per-query parallelism: the admission slot is held for the whole
+	// execution, so pool×workers is bounded by Workers*MaxQueryWorkers.
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.MaxQueryWorkers {
+		workers = s.cfg.MaxQueryWorkers
+	}
+	ctx = exec.ContextWithWorkers(ctx, workers)
 
 	start := time.Now()
 	res, err := s.execute(ctx, req)
@@ -304,11 +325,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.met.Snapshot(map[string]int64{
-		"queue_depth":    int64(s.adm.QueueDepth()),
-		"in_flight":      int64(s.adm.InFlight()),
-		"workers":        int64(s.adm.Workers()),
-		"queue_capacity": int64(s.adm.QueueCap()),
-		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"queue_depth":       int64(s.adm.QueueDepth()),
+		"in_flight":         int64(s.adm.InFlight()),
+		"workers":           int64(s.adm.Workers()),
+		"queue_capacity":    int64(s.adm.QueueCap()),
+		"max_query_workers": int64(s.cfg.MaxQueryWorkers),
+		"uptime_seconds":    int64(time.Since(s.start).Seconds()),
 	}))
 }
 

@@ -21,6 +21,9 @@ type QueryRequest struct {
 	// TimeoutMS bounds execution; 0 uses the server default. It is
 	// clamped to the server maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers requests a morsel-parallel worker count for this query;
+	// 0 uses the server's per-query cap, larger values are clamped to it.
+	Workers int `json:"workers,omitempty"`
 }
 
 // ItemJSON annotates one result cell.
@@ -52,7 +55,9 @@ type QueryResponse struct {
 	LatencyMS      float64  `json:"latency_ms"`
 	RowsScanned    int64    `json:"rows_scanned"`
 	SampleFraction float64  `json:"sample_fraction"`
-	Messages       []string `json:"messages,omitempty"`
+	// Workers is the morsel-parallel worker count the query ran with.
+	Workers  int      `json:"workers,omitempty"`
+	Messages []string `json:"messages,omitempty"`
 }
 
 // ErrorResponse is the body of any non-2xx response.
@@ -135,6 +140,7 @@ func encodeResult(res *core.Result) *QueryResponse {
 		LatencyMS:      float64(res.Diagnostics.Latency.Microseconds()) / 1e3,
 		RowsScanned:    res.Diagnostics.Counters.RowsScanned,
 		SampleFraction: res.Diagnostics.SampleFraction,
+		Workers:        res.Diagnostics.Workers,
 		Messages:       res.Diagnostics.Messages,
 	}
 	for i, row := range res.Rows {

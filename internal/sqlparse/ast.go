@@ -2,6 +2,8 @@ package sqlparse
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 
 	"repro/internal/expr"
@@ -121,6 +123,67 @@ type TableSample struct {
 	Spec sample.Spec
 }
 
+// pctString renders a rate as the percentage literal the parser divides
+// back to exactly that rate. The obvious candidate rate*100 can round so
+// that fl(x/100) != rate; the few-ulp neighborhood always contains a
+// working value for any parser-produced rate, and the shortest decimal
+// among them is preferred.
+func pctString(rate float64) string {
+	best := ""
+	try := func(x float64) {
+		if x > 0 && x/100 == rate {
+			s := strconv.FormatFloat(x, 'g', -1, 64)
+			if best == "" || len(s) < len(best) {
+				best = s
+			}
+		}
+	}
+	x0 := rate * 100
+	try(x0)
+	up, down := x0, x0
+	for i := 0; i < 8; i++ {
+		up = math.Nextafter(up, math.Inf(1))
+		down = math.Nextafter(down, math.Inf(-1))
+		try(up)
+		try(down)
+	}
+	if best == "" {
+		best = strconv.FormatFloat(x0, 'g', -1, 64)
+	}
+	return best
+}
+
+// SQL renders the clause body in the grammar parseTableSample accepts, so
+// a statement's String() re-parses to the same sampler spec. Seed and
+// Salt have no SQL syntax and are omitted.
+func (ts *TableSample) SQL() string {
+	sp := ts.Spec
+	var b strings.Builder
+	switch sp.Kind {
+	case sample.KindUniformRow:
+		b.WriteString("BERNOULLI (" + pctString(sp.Rate))
+	case sample.KindBlock:
+		b.WriteString("SYSTEM (" + pctString(sp.Rate))
+	case sample.KindUniverse:
+		b.WriteString("UNIVERSE (" + pctString(sp.Rate))
+	case sample.KindDistinct:
+		b.WriteString("DISTINCT (" + pctString(sp.Rate))
+		if sp.KeepThreshold > 1 {
+			b.WriteString(", " + strconv.Itoa(sp.KeepThreshold))
+		}
+	case sample.KindBiLevel:
+		b.WriteString("BILEVEL (" + pctString(sp.Rate) + ", " + pctString(sp.RowRate))
+	default:
+		// Not expressible in the grammar; fall back to the EXPLAIN form.
+		return sp.String()
+	}
+	b.WriteString(")")
+	if len(sp.KeyColumns) > 0 {
+		b.WriteString(" ON (" + strings.Join(sp.KeyColumns, ", ") + ")")
+	}
+	return b.String()
+}
+
 // TableRef names a table in FROM, optionally aliased and sampled.
 type TableRef struct {
 	Name   string
@@ -229,12 +292,12 @@ func (s *SelectStmt) String() string {
 	}
 	b.WriteString(" FROM " + s.From.Name)
 	if s.From.Sample != nil {
-		b.WriteString(" TABLESAMPLE " + s.From.Sample.Spec.String())
+		b.WriteString(" TABLESAMPLE " + s.From.Sample.SQL())
 	}
 	for _, j := range s.Joins {
 		b.WriteString(" JOIN " + j.Table.Name)
 		if j.Table.Sample != nil {
-			b.WriteString(" TABLESAMPLE " + j.Table.Sample.Spec.String())
+			b.WriteString(" TABLESAMPLE " + j.Table.Sample.SQL())
 		}
 		b.WriteString(" ON " + j.On.String())
 	}
@@ -269,7 +332,7 @@ func (s *SelectStmt) String() string {
 		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
 	}
 	if s.Error != nil {
-		fmt.Fprintf(&b, " WITH ERROR %g%% CONFIDENCE %g%%", s.Error.RelError*100, s.Error.Confidence*100)
+		fmt.Fprintf(&b, " WITH ERROR %s%% CONFIDENCE %s%%", pctString(s.Error.RelError), pctString(s.Error.Confidence))
 	}
 	return b.String()
 }

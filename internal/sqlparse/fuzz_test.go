@@ -1,0 +1,75 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// fuzzSeedCorpus covers every clause the grammar knows, drawn from the
+// queries the experiment suite and tests actually run.
+var fuzzSeedCorpus = []string{
+	"SELECT COUNT(*) FROM t",
+	"SELECT SUM(x), COUNT(*), AVG(x) FROM t",
+	"SELECT SUM(ev_value) FROM events",
+	"SELECT ev_group, COUNT(*) FROM events GROUP BY ev_group",
+	"SELECT ev_group, SUM(ev_value) FROM events WHERE ev_value > 10 GROUP BY ev_group HAVING SUM(ev_value) > 100 ORDER BY ev_group DESC LIMIT 5",
+	"SELECT SUM(l_extendedprice * (1 - l_discount)) FROM lineitem",
+	"SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem JOIN orders ON l_orderkey = o_orderkey",
+	"SELECT AVG(x) FROM t TABLESAMPLE BERNOULLI (1)",
+	"SELECT SUM(x) FROM t TABLESAMPLE SYSTEM (5) WHERE x < 3",
+	"SELECT COUNT(*) FROM t TABLESAMPLE UNIVERSE (1) ON (k)",
+	"SELECT COUNT(*) FROM t TABLESAMPLE DISTINCT (1, 30) ON (g, h)",
+	"SELECT SUM(x) FROM t TABLESAMPLE BILEVEL (10, 1)",
+	"SELECT SUM(x) FROM t WITH ERROR 5% CONFIDENCE 95%",
+	"SELECT SUM(x) FROM t WITH ERROR 0.5",
+	"SELECT PERCENTILE(x, 0.5) FROM t",
+	"SELECT MIN(x), MAX(x) FROM t",
+	"SELECT COUNT(DISTINCT g) FROM t",
+	"SELECT x FROM t WHERE g IN (1, 2, 3) AND NOT x BETWEEN 2 AND 4",
+	"SELECT x FROM t WHERE name LIKE 'a%' OR name IS NOT NULL",
+	"SELECT x AS v, -x + 3.5e2 FROM t WHERE x % 2 = 1 AND (x / 4) <> 0.25",
+	"SELECT x FROM t WHERE s = 'it''s' LIMIT 0;",
+	"SELECT t.x FROM big t TABLESAMPLE BERNOULLI (0.1) WHERE t.x >= 1e-3",
+}
+
+// FuzzParse asserts the two properties the rest of the system leans on:
+// the parser never panics on arbitrary input, and for every accepted
+// statement the canonical rendering re-parses to the same canonical form
+// (String is a fixed point after one round).
+func FuzzParse(f *testing.F) {
+	for _, sql := range fuzzSeedCorpus {
+		f.Add(sql)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		s2 := stmt.String()
+		stmt2, err := Parse(s2)
+		if err != nil {
+			t.Fatalf("rendering of accepted input does not re-parse\ninput:  %q\nrender: %q\nerr: %v", input, s2, err)
+		}
+		if s3 := stmt2.String(); s3 != s2 {
+			t.Fatalf("canonical form is not a fixed point\nfirst:  %q\nsecond: %q", s2, s3)
+		}
+	})
+}
+
+// TestParseRoundTripCorpus runs the fuzz property over the seed corpus in
+// a plain test so `go test` exercises it without -fuzz.
+func TestParseRoundTripCorpus(t *testing.T) {
+	for _, sql := range fuzzSeedCorpus {
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("seed %q failed to parse: %v", sql, err)
+		}
+		s2 := stmt.String()
+		stmt2, err := Parse(s2)
+		if err != nil {
+			t.Fatalf("seed %q rendering %q does not re-parse: %v", sql, s2, err)
+		}
+		if s3 := stmt2.String(); s3 != s2 {
+			t.Fatalf("seed %q not canonical: %q then %q", sql, s2, s3)
+		}
+	}
+}

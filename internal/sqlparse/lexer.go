@@ -7,7 +7,6 @@ package sqlparse
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // TokenKind classifies lexer tokens.
@@ -140,10 +139,13 @@ func Lex(input string) ([]Token, error) {
 	return toks, nil
 }
 
+// Identifiers are ASCII-only. The lexer walks bytes, so admitting
+// unicode.IsLetter here would accept stray Latin-1 bytes (invalid UTF-8)
+// as identifiers that later mangle under case folding.
 func isIdentStart(r rune) bool {
-	return unicode.IsLetter(r) || r == '_'
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
 }
 
 func isIdentPart(r rune) bool {
-	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+	return isIdentStart(r) || (r >= '0' && r <= '9')
 }

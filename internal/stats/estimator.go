@@ -128,6 +128,18 @@ func (h *HTEstimator) Add(x, w float64) {
 	h.covsn += w * (w - 1) * x
 }
 
+// Merge folds another estimator's accumulations into h. Every field is a
+// plain sum over sampled rows, so merging partial estimators in a fixed
+// order reproduces the same float operation sequence on every run.
+func (h *HTEstimator) Merge(o HTEstimator) {
+	h.sum += o.sum
+	h.varSum += o.varSum
+	h.n += o.n
+	h.wTot += o.wTot
+	h.w2Tot += o.w2Tot
+	h.covsn += o.covsn
+}
+
 // N returns the number of sampled rows observed.
 func (h *HTEstimator) N() float64 { return h.n }
 
