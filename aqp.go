@@ -24,6 +24,7 @@ package aqp
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Re-exported substrate types, so downstream users rarely need internal
@@ -70,6 +72,8 @@ type (
 	OfflineConfig = core.OfflineConfig
 	// OLAConfig tunes online aggregation.
 	OLAConfig = core.OLAConfig
+	// Profile is a structured per-query execution profile (span tree).
+	Profile = trace.Profile
 )
 
 // Column types.
@@ -202,6 +206,75 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 // Table looks up a registered table.
 func (db *DB) Table(name string) (*Table, error) { return db.catalog.Table(name) }
 
+// QueryProfile collects a per-query execution profile. Obtain one with
+// WithProfile, run any query under the returned context, then read the
+// span tree via Profile or the pretty rendering via String.
+type QueryProfile struct {
+	tr *trace.Tracer
+}
+
+// WithProfile returns a context that records a span trace for queries run
+// under it, plus the handle to read the profile afterwards. Tracing is
+// observational only: results are bit-identical with and without it.
+func WithProfile(ctx context.Context) (context.Context, *QueryProfile) {
+	tr := trace.New("query")
+	return trace.WithTracer(ctx, tr), &QueryProfile{tr: tr}
+}
+
+// Profile snapshots the recorded span tree (nil before any query ran
+// anything; safe to call multiple times).
+func (p *QueryProfile) Profile() *Profile { return p.tr.Profile() }
+
+// String renders the profile as an indented tree.
+func (p *QueryProfile) String() string { return p.tr.Profile().String() }
+
+// runStatement dispatches an already-parsed statement through run,
+// handling the EXPLAIN prefix: plain EXPLAIN returns the optimized plan
+// as rows without executing; EXPLAIN ANALYZE executes under a tracer
+// (reusing a caller-installed one) and returns the rendered profile,
+// keeping the executed query's technique, guarantee, and diagnostics.
+func (db *DB) runStatement(ctx context.Context, stmt *sqlparse.SelectStmt, run func(context.Context) (*Result, error)) (*Result, error) {
+	if !stmt.Explain {
+		return run(ctx)
+	}
+	if !stmt.Analyze {
+		p, err := plan.Build(stmt, db.catalog)
+		if err != nil {
+			return nil, err
+		}
+		return textResult("plan", plan.Explain(p)), nil
+	}
+	sp, runCtx := trace.StartSpan(ctx, "query")
+	if sp == nil {
+		// No caller-installed tracer: make one rooted at this query.
+		tr := trace.New("query")
+		runCtx = trace.WithTracer(ctx, tr)
+		sp = tr.Root()
+	}
+	res, err := run(runCtx)
+	if err != nil {
+		return nil, err
+	}
+	sp.End()
+	out := textResult("explain analyze", sp.Snapshot().String())
+	out.Technique = res.Technique
+	out.Guarantee = res.Guarantee
+	out.Spec = res.Spec
+	out.Diagnostics = res.Diagnostics
+	return out, nil
+}
+
+// textResult wraps pre-rendered text as a single-column result, one line
+// per row.
+func textResult(col, text string) *Result {
+	r := &Result{Columns: []string{col}}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		r.Rows = append(r.Rows, []storage.Value{storage.Str(line)})
+		r.Items = append(r.Items, []ItemResult{{Name: col, Value: storage.Str(line)}})
+	}
+	return r
+}
+
 // Query executes a query exactly.
 func (db *DB) Query(sql string) (*Result, error) {
 	return db.QueryContext(context.Background(), sql)
@@ -214,7 +287,9 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.exact.ExecuteContext(ctx, stmt, DefaultErrorSpec)
+	return db.runStatement(ctx, stmt, func(ctx context.Context) (*Result, error) {
+		return db.exact.ExecuteContext(ctx, stmt, DefaultErrorSpec)
+	})
 }
 
 // QueryApprox routes a query through the advisor: offline samples when a
@@ -233,12 +308,18 @@ func (db *DB) QueryApproxContext(ctx context.Context, sql string, spec ...ErrorS
 	if len(spec) > 0 {
 		s = spec[0]
 	}
-	res, dec, err := db.advisor.ExecuteContext(ctx, sql, s)
+	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	res.Diagnostics.Messages = append(res.Diagnostics.Messages, "advisor: "+dec.Reason)
-	return res, nil
+	return db.runStatement(ctx, stmt, func(ctx context.Context) (*Result, error) {
+		res, dec, err := db.advisor.ExecuteStmtContext(ctx, stmt, s)
+		if err != nil {
+			return nil, err
+		}
+		res.Diagnostics.Messages = append(res.Diagnostics.Messages, "advisor: "+dec.Reason)
+		return res, nil
+	})
 }
 
 // Advise explains which technique the advisor would use, without running
@@ -279,7 +360,9 @@ func (db *DB) QueryAsWrittenContext(ctx context.Context, sql string, spec ...Err
 	if stmt.Error != nil {
 		s = ErrorSpec{RelError: stmt.Error.RelError, Confidence: stmt.Error.Confidence}
 	}
-	return core.ExecuteAsWrittenContext(ctx, db.catalog, stmt, s)
+	return db.runStatement(ctx, stmt, func(ctx context.Context) (*Result, error) {
+		return core.ExecuteAsWrittenContext(ctx, db.catalog, stmt, s)
+	})
 }
 
 // QueryOnline forces the query-time-sampling engine.
@@ -293,7 +376,9 @@ func (db *DB) QueryOnlineContext(ctx context.Context, sql string, spec ErrorSpec
 	if err != nil {
 		return nil, err
 	}
-	return db.online.ExecuteContext(ctx, stmt, spec)
+	return db.runStatement(ctx, stmt, func(ctx context.Context) (*Result, error) {
+		return db.online.ExecuteContext(ctx, stmt, spec)
+	})
 }
 
 // QueryOffline forces the offline-samples engine.
@@ -307,7 +392,9 @@ func (db *DB) QueryOfflineContext(ctx context.Context, sql string, spec ErrorSpe
 	if err != nil {
 		return nil, err
 	}
-	return db.offline.ExecuteContext(ctx, stmt, spec)
+	return db.runStatement(ctx, stmt, func(ctx context.Context) (*Result, error) {
+		return db.offline.ExecuteContext(ctx, stmt, spec)
+	})
 }
 
 // QueryOLA runs online aggregation to completion (or early stop per
@@ -325,7 +412,9 @@ func (db *DB) QueryOLAContext(ctx context.Context, sql string, spec ErrorSpec) (
 	if err != nil {
 		return nil, err
 	}
-	return db.ola.ExecuteContext(ctx, stmt, spec)
+	return db.runStatement(ctx, stmt, func(ctx context.Context) (*Result, error) {
+		return db.ola.ExecuteContext(ctx, stmt, spec)
+	})
 }
 
 // QueryProgressive runs online aggregation, invoking observe at every
@@ -341,7 +430,9 @@ func (db *DB) QueryProgressiveContext(ctx context.Context, sql string, spec Erro
 	if err != nil {
 		return nil, err
 	}
-	return db.ola.ExecuteProgressiveContext(ctx, stmt, spec, observe)
+	return db.runStatement(ctx, stmt, func(ctx context.Context) (*Result, error) {
+		return db.ola.ExecuteProgressiveContext(ctx, stmt, spec, observe)
+	})
 }
 
 // BuildOfflineSamples materializes the offline sample ladder for a table

@@ -6,10 +6,12 @@
 //	aqpbench -exp E4              # one experiment
 //	aqpbench -exp all -rows 1000000 -trials 30
 //	aqpbench -exp E4 -json        # also write results/bench_E4.json
+//	aqpbench -profile             # print an EXPLAIN ANALYZE span profile
 //	aqpbench -list
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,7 +20,10 @@ import (
 	"strings"
 	"time"
 
+	aqp "repro"
+	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 // benchJSON is the machine-readable form of one experiment run.
@@ -45,12 +50,20 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		jsonOut = flag.Bool("json", false, "also write each table to results/bench_<id>.json")
 		outDir  = flag.String("out", "results", "directory for -json output")
+		profile = flag.Bool("profile", false, "print an EXPLAIN ANALYZE span profile of a canonical query and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-5s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+	if *profile {
+		if err := runProfile(*rows, *seed, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: profile: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -83,6 +96,39 @@ func main() {
 			}
 		}
 	}
+}
+
+// runProfile generates the star workload, runs one canonical lineitem
+// aggregate exactly and once through the advisor, and prints both span
+// profiles: per-operator wall time, rows in/out, and per-worker morsel
+// counts for the parallel path.
+func runProfile(rows int, seed int64, workers int) error {
+	const sql = "SELECT l_shipmode, SUM(l_extendedprice), AVG(l_discount), COUNT(*) " +
+		"FROM lineitem WHERE l_quantity > 10 GROUP BY l_shipmode"
+	star, err := workload.GenerateStar(workload.Config{Seed: seed, LineitemRows: rows})
+	if err != nil {
+		return err
+	}
+	db := aqp.Open(star.Catalog)
+	ctx := context.Background()
+	if workers > 0 {
+		ctx = exec.ContextWithWorkers(ctx, workers)
+	}
+
+	fmt.Printf("-- %s\n\n", sql)
+	pctx, prof := aqp.WithProfile(ctx)
+	if _, err := db.QueryContext(pctx, sql); err != nil {
+		return err
+	}
+	fmt.Printf("exact:\n%s\n", prof.String())
+
+	pctx, prof = aqp.WithProfile(ctx)
+	res, err := db.QueryApproxContext(pctx, sql+" WITH ERROR 5% CONFIDENCE 95%")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("advisor (technique=%s guarantee=%s):\n%s", res.Technique, res.Guarantee, prof.String())
+	return nil
 }
 
 // writeJSON serializes one experiment table to <dir>/bench_<id>.json.

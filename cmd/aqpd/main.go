@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,6 +52,10 @@ func main() {
 		defTimeout = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 		drainWait  = flag.Duration("drain", 30*time.Second, "max wait for in-flight queries at shutdown")
+		slowQuery  = flag.Duration("slow-query", time.Second, "log completed queries at WARN when at least this slow")
+		logLevel   = flag.String("log-level", "info", "query log level: debug logs every query, info only slow ones and errors")
+		logFormat  = flag.String("log-format", "text", "query log format: text or json")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		loads      loadFlags
 	)
 	flag.Var(&loads, "load", "load a CSV table as name=path.csv (repeatable; types inferred)")
@@ -70,12 +75,26 @@ func main() {
 		}
 	}
 
+	level := slog.LevelInfo
+	if *logLevel == "debug" {
+		level = slog.LevelDebug
+	}
+	var handler slog.Handler
+	if *logFormat == "json" {
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	}
+
 	srv := server.New(db, server.Config{
 		Workers:         *workers,
 		QueueCap:        *queueCap,
 		DefaultTimeout:  *defTimeout,
 		MaxTimeout:      *maxTimeout,
 		MaxQueryWorkers: *qryWorkers,
+		Logger:          slog.New(handler),
+		SlowQuery:       *slowQuery,
+		EnablePprof:     *pprofOn,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -8,6 +8,7 @@
 //	\gen events <rows> <groups> [skew]
 //	\tables                     list tables
 //	\explain <sql>              show the optimized plan
+//	\analyze <sql>              run the query and print its span profile
 //	\exact <sql>                force exact execution
 //	\online <sql>               force query-time sampling
 //	\offline <sql>              force offline samples
@@ -25,6 +26,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -137,6 +139,19 @@ func meta(dbp **aqp.DB, line string) bool {
 			return false
 		}
 		fmt.Print(out)
+	case "\\analyze":
+		// Execute through the advisor under a tracer and print the raw
+		// span tree: per-operator timings, rows in/out, worker morsels.
+		ctx, prof := aqp.WithProfile(context.Background())
+		res, err := db.QueryApproxContext(ctx, rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Print(prof.String())
+		fmt.Printf("-- technique=%s guarantee=%s rows_scanned=%d latency=%s\n",
+			res.Technique, res.Guarantee,
+			res.Diagnostics.Counters.RowsScanned, res.Diagnostics.Latency)
 	case "\\advise":
 		d, err := db.Advise(rest)
 		if err != nil {

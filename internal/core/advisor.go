@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/sqlparse"
+	"repro/internal/trace"
 )
 
 // Advisor routes queries to the technique that can honor the request, and
@@ -104,11 +105,22 @@ func (a *Advisor) ExecuteContext(ctx context.Context, sql string, spec ErrorSpec
 	if err != nil {
 		return nil, Decision{}, err
 	}
+	return a.ExecuteStmtContext(ctx, stmt, spec)
+}
+
+// ExecuteStmtContext routes and runs an already-parsed statement. The
+// facade uses it to parse once, peel EXPLAIN handling off, and still get
+// advisor routing.
+func (a *Advisor) ExecuteStmtContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, Decision, error) {
 	if stmt.Error != nil {
 		spec = ErrorSpec{RelError: stmt.Error.RelError, Confidence: stmt.Error.Confidence}
 	}
+	sp, _ := trace.StartSpan(ctx, "advisor")
 	d := a.Choose(stmt, spec)
+	sp.SetAttr("technique", string(d.Technique))
+	sp.End()
 	var res *Result
+	var err error
 	switch d.Technique {
 	case TechniqueSynopsis:
 		res, err = a.Synopsis.ExecuteContext(ctx, stmt, spec)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // ExactEngine executes queries exactly; it is the reference every
@@ -37,17 +38,24 @@ func (e *ExactEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Resul
 // and deadlines, aborting with ctx.Err().
 func (e *ExactEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
 	start := time.Now()
+	esp, ctx := trace.StartSpan(ctx, "engine exact")
+	defer esp.End()
+	psp, _ := trace.StartSpan(ctx, "plan")
 	p, err := plan.Build(stmt, e.Catalog)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	plan.ClearSamplers(p)
 	workers := resolveWorkers(ctx, p, e.Workers)
+	esp.SetAttrInt("workers", int64(workers))
 	res, err := exec.RunParallelContext(ctx, p, workers)
 	if err != nil {
 		return nil, err
 	}
+	asp, _ := trace.StartSpan(ctx, "estimate")
 	out := annotate(stmt, res, spec, TechniqueExact, GuaranteeExact)
+	asp.End()
 	out.Diagnostics.Latency = time.Since(start)
 	out.Diagnostics.SampleFraction = 1
 	out.Diagnostics.Workers = workers
@@ -64,7 +72,11 @@ func ExecuteAsWritten(cat *storage.Catalog, stmt *sqlparse.SelectStmt, spec Erro
 // ExecuteAsWrittenContext is ExecuteAsWritten under a context.
 func ExecuteAsWrittenContext(ctx context.Context, cat *storage.Catalog, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
 	start := time.Now()
+	esp, ctx := trace.StartSpan(ctx, "engine as-written")
+	defer esp.End()
+	psp, _ := trace.StartSpan(ctx, "plan")
 	p, err := plan.Build(stmt, cat)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // StalePolicy selects the offline engine's behavior when the base table
@@ -467,6 +468,8 @@ func (e *OfflineEngine) selectSample(stmt *sqlparse.SelectStmt, spec ErrorSpec,
 // exact fallback) observes cancellation and deadlines.
 func (e *OfflineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
 	start := time.Now()
+	esp, ctx := trace.StartSpan(ctx, "engine offline")
+	defer esp.End()
 	if !spec.Valid() {
 		spec = DefaultErrorSpec
 	}
@@ -494,15 +497,24 @@ func (e *OfflineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Selec
 
 	// Certified candidates: applicable, fresh (or policy-permitted), and
 	// profiled under the spec with the safety factor.
+	selsp, _ := trace.StartSpan(ctx, "select-sample")
 	best, wantRebuild := e.selectSample(stmt, spec, table, qcs, key)
 	if wantRebuild {
 		// The maintenance cost the paper highlights, paid inline: refresh
 		// the whole table's ladder, then select again (nothing stale now).
+		selsp.SetAttr("rebuild", "true")
 		if err := e.Rebuild(table); err != nil {
+			selsp.End()
 			return nil, err
 		}
 		best, _ = e.selectSample(stmt, spec, table, qcs, key)
 	}
+	if best != nil {
+		selsp.SetAttr("sample", best.name)
+		selsp.SetAttrInt("sample_rows", int64(best.rows))
+		selsp.SetAttrFloat("profiled_err", best.prof)
+	}
+	selsp.End()
 	if best == nil {
 		return fallback("no certified sample for spec (unpredicted QCS, too-tight spec, or stale samples)", false)
 	}
@@ -511,11 +523,13 @@ func (e *OfflineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Selec
 	if err != nil {
 		return nil, err
 	}
+	asp, _ := trace.StartSpan(ctx, "estimate")
 	guarantee := GuaranteeAPriori
 	if best.stale {
 		guarantee = GuaranteeNone
 	}
 	out := annotate(stmt, raw, spec, TechniqueOffline, guarantee)
+	asp.End()
 	out.Diagnostics.Stale = best.stale
 	out.Diagnostics.Latency = time.Since(start)
 	out.Diagnostics.Workers = exec.ResolveWorkers(ctx, e.Config.Workers)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // OLAConfig tunes the online-aggregation engine.
@@ -139,6 +140,8 @@ func (e *OLAEngine) ExecuteProgressive(stmt *sqlparse.SelectStmt, spec ErrorSpec
 func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec,
 	observe func(Progress) bool) (*Result, error) {
 	start := time.Now()
+	esp, ctx := trace.StartSpan(ctx, "engine ola")
+	defer esp.End()
 	if !spec.Valid() {
 		spec = DefaultErrorSpec
 	}
@@ -152,8 +155,10 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 		res.Diagnostics.Messages = append(res.Diagnostics.Messages, "ola: fell back to exact: "+reason)
 		return res, nil
 	}
+	setupSp, _ := trace.StartSpan(ctx, "setup")
 	t, err := e.Catalog.Table(stmt.From.Name)
 	if err != nil {
+		setupSp.End()
 		return nil, err
 	}
 	// Stream over a snapshot so the permutation and the reads agree on
@@ -212,6 +217,15 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 	q := &olaQuery{t: t, joins: joins, where: where, groupExprs: groupExprs,
 		aggs: aggs, argExprs: argExprs, perm: perm}
 	workers := exec.ResolveWorkers(ctx, e.Config.Workers)
+	setupSp.SetAttrInt("rows", int64(n))
+	setupSp.SetAttrInt("workers", int64(workers))
+	setupSp.End()
+
+	// Chunk/checkpoint spans accumulate across loop iterations; a span per
+	// chunk would bloat the tree at default chunk sizes.
+	chunkSp, _ := trace.StartOp(ctx, "chunks")
+	ckptSp, _ := trace.StartOp(ctx, "checkpoints")
+	var checkpoints int64
 
 	groups := make(map[string]*olaGroup)
 	read := 0
@@ -230,11 +244,24 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 		if chunkEnd > limit {
 			chunkEnd = limit
 		}
+		var t0 time.Time
+		if chunkSp != nil {
+			t0 = time.Now()
+		}
 		if err := processOLAChunk(q, groups, read, chunkEnd, workers); err != nil {
 			return nil, err
 		}
+		if chunkSp != nil {
+			chunkSp.AddTime(time.Since(t0))
+			chunkSp.AddRows(int64(chunkEnd - read))
+			t0 = time.Now()
+		}
 		read = chunkEnd
 		final = e.checkpoint(stmt, aggs, groups, read, n, spec)
+		if ckptSp != nil {
+			ckptSp.AddTime(time.Since(t0))
+			checkpoints++
+		}
 		p := Progress{RowsRead: read, Fraction: float64(read) / float64(n), Result: final}
 		if observe != nil && !observe(p) {
 			stoppedEarly = true
@@ -248,6 +275,9 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 	if final == nil {
 		final = e.checkpoint(stmt, aggs, groups, maxInt(read, 1), n, spec)
 	}
+	ckptSp.SetAttrInt("checkpoints", checkpoints)
+	esp.SetAttrInt("rows_read", int64(read))
+	esp.SetAttrFloat("fraction", float64(read)/math.Max(float64(n), 1))
 	final.Diagnostics.Latency = time.Since(start)
 	final.Diagnostics.SampleFraction = float64(read) / math.Max(float64(n), 1)
 	final.Diagnostics.Workers = workers

@@ -13,6 +13,7 @@ import (
 	"repro/internal/sketch"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // OnlineConfig tunes the query-time sampling engine.
@@ -193,6 +194,8 @@ func (e *OnlineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Resu
 // exact fallback) observes cancellation and deadlines.
 func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
 	start := time.Now()
+	esp, ctx := trace.StartSpan(ctx, "engine online")
+	defer esp.End()
 	if !spec.Valid() {
 		spec = DefaultErrorSpec
 	}
@@ -207,11 +210,15 @@ func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Select
 		return res, nil
 	}
 
+	psp, _ := trace.StartSpan(ctx, "plan")
 	p, err := plan.Build(stmt, e.Catalog)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	ssp, _ := trace.StartSpan(ctx, "place-samplers")
 	planned, notes := e.placeSamplers(stmt, p)
+	ssp.End()
 	if !planned {
 		res, err := e.exactEngine().ExecuteContext(ctx, stmt, spec)
 		if err != nil {
@@ -246,20 +253,27 @@ func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Select
 	}
 
 	if e.Config.CacheSamples {
-		if res, handled, err := e.tryCached(ctx, stmt, p, spec, notes, start); handled {
+		csp, cctx := trace.StartSpan(ctx, "sample-cache")
+		res, handled, err := e.tryCached(cctx, stmt, p, spec, notes, start)
+		csp.End()
+		if handled {
 			return res, err
 		}
 	}
 
 	workers := resolveWorkers(ctx, p, e.Config.Workers)
+	esp.SetAttrInt("workers", int64(workers))
 	raw, err := exec.RunParallelContext(ctx, p, workers)
 	if err != nil {
 		return nil, err
 	}
+	asp, _ := trace.StartSpan(ctx, "estimate")
 	out := annotate(stmt, raw, spec, TechniqueOnline, GuaranteeAPosteriori)
+	asp.End()
 	out.Diagnostics.Messages = append(out.Diagnostics.Messages, notes...)
 	out.Diagnostics.SampleFraction = sampleFraction(raw.Counters, sampledRows(p))
 	out.Diagnostics.Workers = workers
+	esp.SetAttrFloat("sample_fraction", out.Diagnostics.SampleFraction)
 
 	if !out.Diagnostics.SpecSatisfied && e.Config.FallbackToExact {
 		exactRes, err := e.exactEngine().ExecuteContext(ctx, stmt, spec)

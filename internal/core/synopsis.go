@@ -12,6 +12,7 @@ import (
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // SynopsisEngine answers a narrow class of queries from precomputed
@@ -128,6 +129,8 @@ func (e *SynopsisEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Sele
 		return nil, err
 	}
 	start := time.Now()
+	esp, _ := trace.StartSpan(ctx, "engine synopsis")
+	defer esp.End()
 	if !spec.Valid() {
 		spec = DefaultErrorSpec
 	}

@@ -21,12 +21,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/sample"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // minMorselRows is the minimum morsel size; the actual morsel is the
@@ -95,42 +97,56 @@ func RunParallelContext(ctx context.Context, root plan.Node, workers int) (*Resu
 // buildParallelOperator mirrors BuildOperatorContext but replaces each
 // eligible Aggregate subtree with the fused morsel-parallel operator.
 // Ineligible shapes (joins below the aggregate, the stateful distinct
-// sampler) fall back to the serial operators.
+// sampler) fall back to the serial operators. Span creation happens per
+// case (not in a shared wrapper) because the default case delegates to
+// BuildOperatorContext, which opens its own span for the node.
 func buildParallelOperator(ctx context.Context, n plan.Node, counters *Counters, workers int) (Operator, error) {
 	switch t := n.(type) {
 	case *plan.Aggregate:
 		if scan, residual, ok := morselEligible(t); ok {
-			return newMorselAggOp(ctx, t, scan, residual, counters, workers)
+			sp, _ := trace.StartOp(ctx, t.Explain()+" [morsel]")
+			op, err := newMorselAggOp(ctx, t, scan, residual, counters, workers)
+			if err != nil {
+				return nil, err
+			}
+			op.sp = sp
+			sp.SetAttr("scan", scan.Explain())
+			return wrapOp(op, sp), nil
 		}
-		child, err := buildParallelOperator(ctx, t.Child, counters, workers)
+		sp, cctx := trace.StartOp(ctx, t.Explain())
+		child, err := buildParallelOperator(cctx, t.Child, counters, workers)
 		if err != nil {
 			return nil, err
 		}
-		return &hashAggOp{node: t, child: child}, nil
+		return wrapOp(&hashAggOp{node: t, child: child}, sp), nil
 	case *plan.Filter:
-		child, err := buildParallelOperator(ctx, t.Child, counters, workers)
+		sp, cctx := trace.StartOp(ctx, t.Explain())
+		child, err := buildParallelOperator(cctx, t.Child, counters, workers)
 		if err != nil {
 			return nil, err
 		}
-		return &filterOp{child: child, pred: t.Pred}, nil
+		return wrapOp(&filterOp{child: child, pred: t.Pred}, sp), nil
 	case *plan.Project:
-		child, err := buildParallelOperator(ctx, t.Child, counters, workers)
+		sp, cctx := trace.StartOp(ctx, t.Explain())
+		child, err := buildParallelOperator(cctx, t.Child, counters, workers)
 		if err != nil {
 			return nil, err
 		}
-		return &projectOp{child: child, node: t, schema: t.Schema()}, nil
+		return wrapOp(&projectOp{child: child, node: t, schema: t.Schema()}, sp), nil
 	case *plan.Sort:
-		child, err := buildParallelOperator(ctx, t.Child, counters, workers)
+		sp, cctx := trace.StartOp(ctx, t.Explain())
+		child, err := buildParallelOperator(cctx, t.Child, counters, workers)
 		if err != nil {
 			return nil, err
 		}
-		return &sortOp{node: t, child: child}, nil
+		return wrapOp(&sortOp{node: t, child: child}, sp), nil
 	case *plan.Limit:
-		child, err := buildParallelOperator(ctx, t.Child, counters, workers)
+		sp, cctx := trace.StartOp(ctx, t.Explain())
+		child, err := buildParallelOperator(cctx, t.Child, counters, workers)
 		if err != nil {
 			return nil, err
 		}
-		return &limitOp{child: child, n: t.N}, nil
+		return wrapOp(&limitOp{child: child, n: t.N}, sp), nil
 	}
 	return BuildOperatorContext(ctx, n, counters)
 }
@@ -179,7 +195,13 @@ type morselAggOp struct {
 
 	kern morselKernels // compiled against the snapshot in Next
 	done bool
+
+	sp      *trace.Span // operator span, nil when tracing is off
+	scanned int64       // total rows examined across workers
 }
+
+// inputRows implements inputRowsReporter.
+func (op *morselAggOp) inputRows() int64 { return op.scanned }
 
 // Aggregate-slot fast-path modes; slotGeneral falls back to accumulate.
 const (
@@ -347,6 +369,24 @@ func (op *morselAggOp) Next() (*Batch, error) {
 		wks[w] = wk
 	}
 
+	// Trace setup happens before the workers launch and only observes the
+	// already-decided morsel geometry: worker spans are pre-created here in
+	// index order so the profile is deterministic, and nothing below feeds
+	// back into sizing, claiming, or merge order.
+	var workerSpans []*trace.Span
+	if op.sp != nil {
+		op.sp.SetAttrInt("workers", int64(workers))
+		op.sp.SetAttrInt("morsels", int64(nMorsels))
+		op.sp.SetAttrInt("morsel_rows", int64(morselRows))
+		if op.scan.Sample != nil {
+			op.sp.SetAttr("sample", op.scan.Sample.String())
+		}
+		workerSpans = make([]*trace.Span, workers)
+		for w := range workerSpans {
+			workerSpans[w] = op.sp.NewChild(fmt.Sprintf("worker %d", w))
+		}
+	}
+
 	partials := make([]map[string]*groupState, nMorsels)
 	if nMorsels > 0 {
 		runCtx, cancel := context.WithCancel(op.ctx)
@@ -361,28 +401,62 @@ func (op *morselAggOp) Next() (*Batch, error) {
 			// First failure wins and cancels the siblings.
 			once.Do(func() { firstErr = err; cancel() })
 		}
-		for _, wk := range wks {
+		for w, wk := range wks {
+			var wsp *trace.Span
+			if workerSpans != nil {
+				wsp = workerSpans[w]
+			}
 			wg.Add(1)
-			go func(wk *morselWorker) {
+			go func(wk *morselWorker, wsp *trace.Span) {
 				defer wg.Done()
+				var (
+					busy      time.Duration
+					morsels   int64
+					wallStart time.Time
+				)
+				if wsp != nil {
+					wallStart = time.Now()
+				}
 				for {
 					m := int(atomic.AddInt64(&next, 1)) - 1
 					if m >= nMorsels {
-						return
+						break
 					}
 					lo := m * morselRows
 					hi := lo + morselRows
 					if hi > nRows {
 						hi = nRows
 					}
-					part, err := wk.processMorsel(runCtx, lo, hi)
+					var part map[string]*groupState
+					var err error
+					if wsp != nil {
+						t0 := time.Now()
+						part, err = wk.processMorsel(runCtx, lo, hi)
+						busy += time.Since(t0)
+						morsels++
+					} else {
+						part, err = wk.processMorsel(runCtx, lo, hi)
+					}
 					if err != nil {
 						fail(err)
-						return
+						break
 					}
 					partials[m] = part
 				}
-			}(wk)
+				if wsp != nil {
+					// Stall = wall time minus morsel-processing time: claim
+					// contention plus tail idling after the last morsel.
+					wsp.AddTime(busy)
+					wsp.SetAttrInt("morsels", morsels)
+					stall := time.Since(wallStart) - busy
+					if stall < 0 {
+						stall = 0
+					}
+					wsp.SetAttr("stall", stall.Round(time.Microsecond).String())
+					wsp.SetRowsIn(wk.counters.RowsScanned)
+					wsp.AddRows(wk.counters.RowsEmitted)
+				}
+			}(wk, wsp)
 		}
 		wg.Wait()
 		if firstErr != nil {
@@ -391,8 +465,13 @@ func (op *morselAggOp) Next() (*Batch, error) {
 	}
 	for _, wk := range wks {
 		op.counters.Add(wk.counters)
+		op.scanned += wk.counters.RowsScanned
 	}
 
+	var mergeStart time.Time
+	if op.sp != nil {
+		mergeStart = time.Now()
+	}
 	// Ordered reduction: fold partials in ascending morsel order. Each
 	// morsel contributes to a group exactly once, so per group the float
 	// operation sequence is fixed by morsel index alone — map iteration
@@ -408,6 +487,12 @@ func (op *morselAggOp) Next() (*Batch, error) {
 		}
 	}
 	out := finalizeGroups(op.node, groups)
+	if op.sp != nil {
+		ms := op.sp.NewChild("merge")
+		ms.AddTime(time.Since(mergeStart))
+		ms.SetAttrInt("partials", int64(nMorsels))
+		ms.SetAttrInt("groups", int64(len(groups)))
+	}
 	if out.Len() == 0 {
 		return nil, nil
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // BuildOperator compiles a logical plan into a physical operator tree.
@@ -17,8 +18,22 @@ func BuildOperator(n plan.Node, counters *Counters) (Operator, error) {
 
 // BuildOperatorContext compiles a logical plan into a physical operator
 // tree whose scans check ctx between batches, so long scans observe
-// cancellation and deadlines at BatchSize granularity.
+// cancellation and deadlines at BatchSize granularity. When the context
+// carries a trace span, every operator is wrapped with span accounting
+// under a child span named by the plan node.
 func BuildOperatorContext(ctx context.Context, n plan.Node, counters *Counters) (Operator, error) {
+	sp, cctx := trace.StartOp(ctx, n.Explain())
+	op, err := buildSerialOp(cctx, n, counters)
+	if err != nil {
+		return nil, err
+	}
+	return wrapOp(op, sp), nil
+}
+
+// buildSerialOp is the span-free body of BuildOperatorContext; recursive
+// child builds go back through BuildOperatorContext so each node gets its
+// own span nested under the parent's.
+func buildSerialOp(ctx context.Context, n plan.Node, counters *Counters) (Operator, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return newScanOp(ctx, t, counters)

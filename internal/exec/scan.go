@@ -27,12 +27,16 @@ type scanOp struct {
 	sampler   sample.RowSampler
 	blockSamp *sample.Block
 
-	table  *storage.Table
-	nRows  int
-	row    int
-	block  int
-	keyBuf []storage.Value
+	table   *storage.Table
+	nRows   int
+	row     int
+	block   int
+	keyBuf  []storage.Value
+	scanned int64 // rows examined by this operator (for trace rows-in)
 }
+
+// inputRows implements inputRowsReporter.
+func (op *scanOp) inputRows() int64 { return op.scanned }
 
 func newScanOp(ctx context.Context, s *plan.Scan, counters *Counters) (*scanOp, error) {
 	op := &scanOp{scan: s, counters: counters, ctx: ctx, table: s.Table, weightIdx: -1}
@@ -148,6 +152,7 @@ func (op *scanOp) Next() (*Batch, error) {
 		}
 		for ; op.row < blockEnd && batch.Len() < BatchSize; op.row++ {
 			op.counters.RowsScanned++
+			op.scanned++
 			tr := tableRow{t: op.table, idx: op.row}
 			if op.scan.Filter != nil {
 				ok, err := expr.EvalBool(op.scan.Filter, tr)

@@ -1,0 +1,26 @@
+package server
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo reports the server's build identity without requiring git:
+// the Go toolchain version and the main module path/version as recorded
+// by the build system ("(devel)" for local builds).
+func BuildInfo() map[string]string {
+	info := map[string]string{
+		"go_version": runtime.Version(),
+		"module":     "repro",
+		"version":    "(devel)",
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			info["module"] = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			info["version"] = bi.Main.Version
+		}
+	}
+	return info
+}

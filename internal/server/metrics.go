@@ -4,17 +4,28 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 )
 
-// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
-// latency histogram buckets; an implicit +Inf bucket catches the rest.
-var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+// Bucket bound presets. Each histogram family picks the preset that
+// matches its unit; an implicit +Inf bucket catches the rest.
+var (
+	// latencyBucketsMS are upper bounds in milliseconds for query
+	// latency histograms.
+	latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+	// errorWidthBuckets are upper bounds for relative CI half-width
+	// histograms (dimensionless, 0.001 = 0.1%).
+	errorWidthBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+	// rowsScannedBuckets are upper bounds for per-query rows-scanned
+	// histograms.
+	rowsScannedBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+)
 
 // Metrics is an in-process metrics registry: named counters and fixed-
 // bucket histograms, safe for concurrent use, serialized as JSON by the
-// /metrics handler. Keys carry their labels inline, Prometheus-style:
-// queries_total{technique="exact"}.
+// /metrics handler (and as Prometheus text by ?format=prom). Keys carry
+// their labels inline, Prometheus-style: queries_total{technique="exact"}.
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]int64
@@ -44,12 +55,21 @@ func (m *Metrics) Add(key string, delta int64) {
 // Inc increments a counter by one.
 func (m *Metrics) Inc(key string) { m.Add(key, 1) }
 
-// Observe records one sample into a histogram (created on first use).
+// Observe records one sample into a histogram with the default latency
+// buckets (created on first use).
 func (m *Metrics) Observe(key string, v float64) {
+	m.ObserveWith(key, v, latencyBucketsMS)
+}
+
+// ObserveWith records one sample into a histogram with the given bucket
+// bounds. Bounds are fixed at the histogram's first observation; later
+// calls reuse the existing buckets regardless of the bounds argument, so
+// every call site for one key should pass the same preset.
+func (m *Metrics) ObserveWith(key string, v float64, bounds []float64) {
 	m.mu.Lock()
 	h := m.hists[key]
 	if h == nil {
-		h = newHistogram()
+		h = newHistogram(bounds)
 		m.hists[key] = h
 	}
 	h.observe(v)
@@ -63,38 +83,47 @@ func (m *Metrics) Counter(key string) int64 {
 	return m.counters[key]
 }
 
-// CounterSum sums every counter whose key starts with prefix — the
-// label-free total of a labeled counter family.
+// CounterSum sums a labeled counter family: every counter whose key is
+// exactly prefix or starts with prefix followed by a label block. The
+// label-block requirement keeps families with a shared name prefix apart
+// (queries_total must not absorb queries_total_errors).
 func (m *Metrics) CounterSum(prefix string) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sum int64
+	labeled := prefix + "{"
 	for k, v := range m.counters {
-		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+		if k == prefix || strings.HasPrefix(k, labeled) {
 			sum += v
 		}
 	}
 	return sum
 }
 
-// histogram is a fixed-bucket histogram over latencyBucketsMS.
+// histogram is a fixed-bucket histogram over the bounds it was created
+// with.
 type histogram struct {
-	counts   []int64 // one per bucket, plus trailing +Inf
+	bounds   []float64
+	counts   []int64 // one per bound, plus trailing +Inf
 	total    int64
 	sum      float64
 	min, max float64
 }
 
-func newHistogram() *histogram {
+func newHistogram(bounds []float64) *histogram {
+	if len(bounds) == 0 {
+		bounds = latencyBucketsMS
+	}
 	return &histogram{
-		counts: make([]int64, len(latencyBucketsMS)+1),
+		bounds: bounds,
+		counts: make([]int64, len(bounds)+1),
 		min:    math.Inf(1),
 		max:    math.Inf(-1),
 	}
 }
 
 func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(latencyBucketsMS, v)
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.total++
 	h.sum += v
@@ -121,6 +150,8 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Gauges     map[string]int64             `json:"gauges"`
+	// Info carries static build identity (go version, module version).
+	Info map[string]string `json:"info,omitempty"`
 }
 
 // Snapshot captures the current state. Gauges (instantaneous readings
@@ -152,8 +183,8 @@ func (m *Metrics) Snapshot(gauges map[string]int64) Snapshot {
 				continue
 			}
 			label := "+Inf"
-			if i < len(latencyBucketsMS) {
-				label = fmt.Sprintf("le=%g", latencyBucketsMS[i])
+			if i < len(h.bounds) {
+				label = fmt.Sprintf("le=%g", h.bounds[i])
 			}
 			hs.Buckets[label] = c
 		}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format 0.0.4: one `# TYPE` line per family, counter and gauge series
+// as-is, histograms expanded into cumulative `_bucket{le="..."}` series
+// plus `_sum` and `_count`. Gauges and build info are supplied by the
+// caller like in Snapshot; info becomes a constant `aqpd_build_info 1`
+// gauge with the identity as labels, the standard Prometheus idiom for
+// exposing versions.
+func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int64, info map[string]string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Counters, grouped into families by base name.
+	counterFamilies := make(map[string][]string) // family -> rendered series lines
+	for k, v := range m.counters {
+		fam, _ := splitKey(k)
+		counterFamilies[fam] = append(counterFamilies[fam], fmt.Sprintf("%s %d\n", k, v))
+	}
+	for _, fam := range sortedKeys(counterFamilies) {
+		fmt.Fprintf(w, "# TYPE %s counter\n", fam)
+		series := counterFamilies[fam]
+		sort.Strings(series)
+		for _, line := range series {
+			io.WriteString(w, line)
+		}
+	}
+
+	// Gauges.
+	for _, k := range sortedKeys(gauges) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", k, k, gauges[k])
+	}
+	if len(info) > 0 {
+		var labels []string
+		for _, k := range sortedKeys(info) {
+			labels = append(labels, fmt.Sprintf("%s=%q", k, info[k]))
+		}
+		fmt.Fprintf(w, "# TYPE aqpd_build_info gauge\naqpd_build_info{%s} 1\n", strings.Join(labels, ","))
+	}
+
+	// Histograms: buckets are cumulative in the exposition format, unlike
+	// the per-bucket counts kept internally.
+	histFamilies := make(map[string][]string) // family -> series keys
+	for k := range m.hists {
+		fam, _ := splitKey(k)
+		histFamilies[fam] = append(histFamilies[fam], k)
+	}
+	for _, fam := range sortedKeys(histFamilies) {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		series := histFamilies[fam]
+		sort.Strings(series)
+		for _, k := range series {
+			h := m.hists[k]
+			_, labels := splitKey(k)
+			var cum int64
+			for i, c := range h.counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = formatFloat(h.bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, joinLabels(labels, `le="`+le+`"`), cum)
+			}
+			suffix := ""
+			if labels != "" {
+				suffix = "{" + labels + "}"
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", fam, suffix, formatFloat(h.sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, h.total)
+		}
+	}
+}
+
+// splitKey separates name{label="v"} into the family name and the label
+// body (without braces); an unlabeled key returns ("name", "").
+func splitKey(k string) (fam, labels string) {
+	i := strings.IndexByte(k, '{')
+	if i < 0 {
+		return k, ""
+	}
+	return k[:i], strings.TrimSuffix(k[i+1:], "}")
+}
+
+// joinLabels merges an existing label body with one extra label.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

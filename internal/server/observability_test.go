@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterSumPrefixGuard(t *testing.T) {
+	m := NewMetrics()
+	m.Add(Key("queries_total", "technique", "exact"), 3)
+	m.Add(Key("queries_total", "technique", "online"), 4)
+	m.Add("queries_total_errors", 100) // shared name prefix, different family
+	m.Add("queries_totally_unrelated", 100)
+
+	if got := m.CounterSum("queries_total"); got != 7 {
+		t.Fatalf("CounterSum(queries_total) = %d, want 7 (must not absorb queries_total_errors)", got)
+	}
+	// An unlabeled counter matches its own family exactly.
+	m.Add("rows_scanned_total", 42)
+	if got := m.CounterSum("rows_scanned_total"); got != 42 {
+		t.Fatalf("CounterSum(rows_scanned_total) = %d, want 42", got)
+	}
+}
+
+func TestHistogramPerKeyBounds(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveWith("w", 0.003, errorWidthBuckets)
+	m.ObserveWith("w", 0.9, errorWidthBuckets)
+	m.Observe("lat", 3) // default latency bounds
+
+	snap := m.Snapshot(nil)
+	w := snap.Histograms["w"]
+	if w.Count != 2 {
+		t.Fatalf("w count = %d", w.Count)
+	}
+	// 0.003 lands in le=0.005 with error-width bounds; with the latency
+	// bounds it would land in le=1.
+	if w.Buckets["le=0.005"] != 1 || w.Buckets["le=1"] != 1 {
+		t.Fatalf("w buckets = %v, want le=0.005:1 le=1:1", w.Buckets)
+	}
+	lat := snap.Histograms["lat"]
+	if lat.Buckets["le=5"] != 1 {
+		t.Fatalf("lat buckets = %v, want le=5:1", lat.Buckets)
+	}
+}
+
+// promSeries is one parsed exposition line: name, labels, value.
+type promSeries struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm is a minimal Prometheus text-format 0.0.4 parser: it returns
+// the TYPE declarations and every sample line, failing the test on any
+// line it cannot parse.
+func parseProm(t *testing.T, text string) (types map[string]string, series []promSeries) {
+	t.Helper()
+	types = make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("bad sample line: %q", line)
+		}
+		id, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		s := promSeries{labels: map[string]string{}, value: val}
+		if i := strings.IndexByte(id, '{'); i >= 0 {
+			s.name = id[:i]
+			body := strings.TrimSuffix(id[i+1:], "}")
+			for _, pair := range strings.Split(body, ",") {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					t.Fatalf("bad label pair %q in %q", pair, line)
+				}
+				v, err := strconv.Unquote(pair[eq+1:])
+				if err != nil {
+					t.Fatalf("bad label value %q in %q: %v", pair, line, err)
+				}
+				s.labels[pair[:eq]] = v
+			}
+		} else {
+			s.name = id
+		}
+		series = append(series, s)
+	}
+	return types, series
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	// Above the online engine's MinTableRows threshold so approximate
+	// queries actually sample (and emit CI-width telemetry).
+	db := buildDB(t, 60000)
+	srv := New(db, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postQuery(t, ts.URL, QueryRequest{SQL: "SELECT COUNT(*) FROM t", Mode: "exact"})
+	postQuery(t, ts.URL, QueryRequest{SQL: "SELECT SUM(x) FROM t WITH ERROR 5% CONFIDENCE 95%"})
+	postQuery(t, ts.URL, QueryRequest{SQL: "SELECT AVG(x) FROM t", Mode: "online"})
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	types, series := parseProm(t, string(body))
+
+	if types["queries_total"] != "counter" {
+		t.Fatalf("queries_total type = %q, want counter (types: %v)", types["queries_total"], types)
+	}
+	if types["query_latency_ms"] != "histogram" {
+		t.Fatalf("query_latency_ms type = %q, want histogram", types["query_latency_ms"])
+	}
+	if types["query_ci_rel_width"] != "histogram" {
+		t.Fatalf("query_ci_rel_width type = %q, want histogram (approx queries ran)", types["query_ci_rel_width"])
+	}
+	if types["uptime_seconds"] != "gauge" || types["aqpd_build_info"] != "gauge" {
+		t.Fatalf("gauge types missing: %v", types)
+	}
+
+	// Histogram invariants: buckets cumulative and non-decreasing, the
+	// +Inf bucket equals _count, and every series of a histogram family
+	// is declared. Group by family+technique label.
+	counts := map[string]float64{}  // family|technique -> _count
+	infs := map[string]float64{}    // family|technique -> +Inf bucket
+	lastCum := map[string]float64{} // running cumulative check
+	for _, s := range series {
+		tech := s.labels["technique"]
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			fam := strings.TrimSuffix(s.name, "_bucket")
+			k := fam + "|" + tech
+			if s.value < lastCum[k] {
+				t.Fatalf("%s buckets not cumulative: %v after %v", k, s.value, lastCum[k])
+			}
+			lastCum[k] = s.value
+			if s.labels["le"] == "+Inf" {
+				infs[k] = s.value
+			}
+			if types[fam] != "histogram" {
+				t.Fatalf("undeclared histogram family %q", fam)
+			}
+		case strings.HasSuffix(s.name, "_count"):
+			counts[strings.TrimSuffix(s.name, "_count")+"|"+tech] = s.value
+		}
+	}
+	if len(counts) == 0 {
+		t.Fatal("no histogram _count series found")
+	}
+	for k, c := range counts {
+		if infs[k] != c {
+			t.Fatalf("%s: +Inf bucket %v != count %v", k, infs[k], c)
+		}
+	}
+
+	// Build info carries the identity labels.
+	found := false
+	for _, s := range series {
+		if s.name == "aqpd_build_info" {
+			found = true
+			if s.labels["go_version"] == "" || s.labels["module"] == "" {
+				t.Fatalf("build info labels missing: %v", s.labels)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("aqpd_build_info series missing")
+	}
+
+	// The JSON format is unchanged by the prom path and carries Info.
+	snap := getMetrics(t, ts.URL)
+	if snap.Counters == nil || snap.Histograms == nil || snap.Gauges == nil {
+		t.Fatalf("JSON snapshot shape changed: %+v", snap)
+	}
+	if snap.Info["go_version"] == "" {
+		t.Fatalf("JSON snapshot missing build info: %v", snap.Info)
+	}
+	if _, ok := snap.Gauges["uptime_seconds"]; !ok {
+		t.Fatal("uptime_seconds gauge missing")
+	}
+}
+
+func TestTraceFlagEmbedsProfile(t *testing.T) {
+	db := buildDB(t, 20000)
+	srv := New(db, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := QueryRequest{SQL: "SELECT SUM(x), COUNT(*) FROM t WHERE x > 10 GROUP BY g", Mode: "exact"}
+	resp, plain, _ := postQuery(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("untraced status = %d", resp.StatusCode)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced response carries a trace")
+	}
+
+	req.Trace = true
+	resp, traced, _ := postQuery(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced status = %d", resp.StatusCode)
+	}
+	if traced.Trace == nil {
+		t.Fatal("trace requested but response has none")
+	}
+	if traced.Trace.Name != "query" {
+		t.Fatalf("trace root = %q, want query", traced.Trace.Name)
+	}
+	if traced.Trace.Find("engine exact") == nil {
+		t.Fatalf("no engine span in trace:\n%s", traced.Trace.String())
+	}
+	// The morsel path fuses the scan into the aggregate operator; the
+	// aggregate span and its worker children must be present.
+	if traced.Trace.Find("HashAggregate") == nil {
+		t.Fatalf("no aggregate operator span in trace:\n%s", traced.Trace.String())
+	}
+	if traced.Trace.Find("worker 0") == nil {
+		t.Fatalf("no worker span in trace:\n%s", traced.Trace.String())
+	}
+	// Tracing only observes: rows are bit-identical.
+	if !reflect.DeepEqual(plain.Rows, traced.Rows) {
+		t.Fatalf("traced rows differ from untraced:\n%v\n%v", plain.Rows, traced.Rows)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	db := buildDB(t, 5000)
+	// SlowQuery of 1ns marks every completed query slow.
+	srv := New(db, Config{Logger: logger, SlowQuery: time.Nanosecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postQuery(t, ts.URL, QueryRequest{SQL: "SELECT COUNT(*) FROM t", Mode: "exact"})
+	postQuery(t, ts.URL, QueryRequest{SQL: "SELECT COUNT(*) FROM missing", Mode: "exact"})
+
+	var slow, failed bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		switch rec["msg"] {
+		case "slow query":
+			slow = true
+			if rec["level"] != "WARN" || rec["technique"] != "exact" || rec["sql"] == "" {
+				t.Fatalf("slow query record malformed: %v", rec)
+			}
+		case "query failed":
+			failed = true
+			if rec["level"] != "WARN" || rec["err"] == "" {
+				t.Fatalf("failure record malformed: %v", rec)
+			}
+		}
+	}
+	if !slow || !failed {
+		t.Fatalf("missing log records (slow=%v failed=%v):\n%s", slow, failed, buf.String())
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	db := buildDB(t, 100)
+
+	off := httptest.NewServer(New(db, Config{}).Handler())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable without EnablePprof")
+	}
+
+	on := httptest.NewServer(New(db, Config{EnablePprof: true}).Handler())
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d with EnablePprof", resp.StatusCode)
+	}
+}

@@ -12,7 +12,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
 
@@ -38,6 +41,16 @@ type Config struct {
 	// the default is max(1, GOMAXPROCS/Workers). Requests asking for more
 	// are clamped, not rejected.
 	MaxQueryWorkers int
+	// Logger receives the structured query log (nil discards it).
+	// Completed queries log at Debug, slow queries and failures at Warn.
+	Logger *slog.Logger
+	// SlowQuery is the latency at or above which a completed query is
+	// logged at Warn instead of Debug (default 1s).
+	SlowQuery time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's handler tree. Off by default: profiles expose internals,
+	// so production deployments should gate them deliberately.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +71,12 @@ func (c Config) withDefaults() Config {
 		if c.MaxQueryWorkers < 1 {
 			c.MaxQueryWorkers = 1
 		}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.SlowQuery <= 0 {
+		c.SlowQuery = time.Second
 	}
 	return c
 }
@@ -88,6 +107,13 @@ func New(db *aqp.DB, cfg Config) *Server {
 	s.mux.HandleFunc("/samples/build", s.handleBuildSamples)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -175,6 +201,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx = exec.ContextWithWorkers(ctx, workers)
 
+	// Per-request tracing: install a tracer so engine/operator spans are
+	// recorded, and embed the profile tree in the response. Tracing only
+	// observes; traced results are bit-identical to untraced ones.
+	var prof *aqp.QueryProfile
+	if req.Trace {
+		ctx, prof = aqp.WithProfile(ctx)
+	}
+
 	start := time.Now()
 	res, err := s.execute(ctx, req)
 	elapsed := time.Since(start)
@@ -189,19 +223,63 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestTimeout
 		}
 		s.met.Inc("queries_errors_total")
+		s.cfg.Logger.Warn("query failed",
+			"sql", req.SQL, "mode", req.Mode,
+			"latency_ms", float64(elapsed.Microseconds())/1e3,
+			"status", status, "err", err.Error())
 		writeError(w, status, "%v", err)
 		return
 	}
 
-	s.met.Inc(Key("queries_total", "technique", string(res.Technique)))
+	latencyMS := float64(elapsed.Microseconds()) / 1e3
+	tech := string(res.Technique)
+	s.met.Inc(Key("queries_total", "technique", tech))
 	s.met.Inc(Key("queries_by_guarantee", "guarantee", res.Guarantee.String()))
 	s.met.Add("rows_scanned_total", res.Diagnostics.Counters.RowsScanned)
-	s.met.Observe(Key("query_latency_ms", "technique", string(res.Technique)),
-		float64(elapsed.Microseconds())/1e3)
+	s.met.Observe(Key("query_latency_ms", "technique", tech), latencyMS)
+	s.met.ObserveWith(Key("query_rows_scanned", "technique", tech),
+		float64(res.Diagnostics.Counters.RowsScanned), rowsScannedBuckets)
 	if res.Diagnostics.Partial {
 		s.met.Inc("queries_partial_total")
 	}
-	writeJSON(w, http.StatusOK, encodeResult(res))
+	// Accuracy telemetry for approximate answers: the realized relative
+	// CI half-width vs the promised one, and whether the spec was met —
+	// the production signal that a sample ladder or synopsis has gone
+	// stale relative to the workload.
+	if res.Guarantee != core.GuaranteeExact {
+		s.met.ObserveWith(Key("query_ci_rel_width", "technique", tech),
+			res.MaxRelHalfWidth(), errorWidthBuckets)
+		if res.Spec.RelError > 0 {
+			s.met.ObserveWith(Key("query_ci_target_width", "technique", tech),
+				res.Spec.RelError, errorWidthBuckets)
+		}
+		if res.Diagnostics.SpecSatisfied {
+			s.met.Inc(Key("queries_spec_met_total", "technique", tech))
+		} else {
+			s.met.Inc(Key("queries_spec_missed_total", "technique", tech))
+		}
+	}
+
+	logAttrs := []any{
+		"sql", req.SQL, "mode", req.Mode, "technique", tech,
+		"guarantee", res.Guarantee.String(), "latency_ms", latencyMS,
+		"rows_scanned", res.Diagnostics.Counters.RowsScanned,
+		"sample_fraction", res.Diagnostics.SampleFraction,
+		"workers", res.Diagnostics.Workers,
+		"spec_satisfied", res.Diagnostics.SpecSatisfied,
+		"partial", res.Diagnostics.Partial,
+	}
+	if elapsed >= s.cfg.SlowQuery {
+		s.cfg.Logger.Warn("slow query", logAttrs...)
+	} else {
+		s.cfg.Logger.Debug("query", logAttrs...)
+	}
+
+	resp := encodeResult(res)
+	if prof != nil {
+		resp.Trace = prof.Profile()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // execute routes the request to the right façade call.
@@ -318,23 +396,32 @@ func (s *Server) handleBuildSamples(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics serves the metrics snapshot as JSON.
+// handleMetrics serves the metrics snapshot: JSON by default, Prometheus
+// text exposition format with ?format=prom.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.met.Snapshot(map[string]int64{
+	gauges := map[string]int64{
 		"queue_depth":       int64(s.adm.QueueDepth()),
 		"in_flight":         int64(s.adm.InFlight()),
 		"workers":           int64(s.adm.Workers()),
 		"queue_capacity":    int64(s.adm.QueueCap()),
 		"max_query_workers": int64(s.cfg.MaxQueryWorkers),
 		"uptime_seconds":    int64(time.Since(s.start).Seconds()),
-	}))
+	}
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.met.WritePrometheus(w, gauges, BuildInfo())
+		return
+	}
+	snap := s.met.Snapshot(gauges)
+	snap.Info = BuildInfo()
+	writeJSON(w, http.StatusOK, snap)
 }
 
-// handleHealthz reports liveness and drain state.
+// handleHealthz reports liveness, drain state, and build identity.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ok"
@@ -342,5 +429,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	writeJSON(w, status, map[string]any{"status": state, "tables": len(s.db.Catalog().Names())})
+	writeJSON(w, status, map[string]any{
+		"status":         state,
+		"tables":         len(s.db.Catalog().Names()),
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"build":          BuildInfo(),
+	})
 }

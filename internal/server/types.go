@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // QueryRequest is the body of POST /query.
@@ -24,6 +25,9 @@ type QueryRequest struct {
 	// Workers requests a morsel-parallel worker count for this query;
 	// 0 uses the server's per-query cap, larger values are clamped to it.
 	Workers int `json:"workers,omitempty"`
+	// Trace embeds the per-query span profile in the response. Tracing
+	// is observational only: rows are bit-identical either way.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ItemJSON annotates one result cell.
@@ -58,6 +62,9 @@ type QueryResponse struct {
 	// Workers is the morsel-parallel worker count the query ran with.
 	Workers  int      `json:"workers,omitempty"`
 	Messages []string `json:"messages,omitempty"`
+	// Trace is the span profile tree, present when the request set
+	// "trace": true.
+	Trace *trace.Profile `json:"trace,omitempty"`
 }
 
 // ErrorResponse is the body of any non-2xx response.

@@ -228,6 +228,12 @@ type SelectStmt struct {
 	OrderBy []OrderItem
 	Limit   int // -1 when absent
 	Error   *ErrorClause
+
+	// Explain marks an EXPLAIN-prefixed statement (plan only); Analyze
+	// additionally executes the statement and reports the traced profile.
+	// Analyze implies Explain.
+	Explain bool
+	Analyze bool
 }
 
 // Aggregates returns all AggExpr nodes in the select items and HAVING
@@ -280,6 +286,12 @@ func (s *SelectStmt) Tables() []string {
 // String renders the statement back to SQL (canonicalized).
 func (s *SelectStmt) String() string {
 	var b strings.Builder
+	if s.Explain {
+		b.WriteString("EXPLAIN ")
+		if s.Analyze {
+			b.WriteString("ANALYZE ")
+		}
+	}
 	b.WriteString("SELECT ")
 	for i, it := range s.Items {
 		if i > 0 {

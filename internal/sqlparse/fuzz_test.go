@@ -29,6 +29,9 @@ var fuzzSeedCorpus = []string{
 	"SELECT x AS v, -x + 3.5e2 FROM t WHERE x % 2 = 1 AND (x / 4) <> 0.25",
 	"SELECT x FROM t WHERE s = 'it''s' LIMIT 0;",
 	"SELECT t.x FROM big t TABLESAMPLE BERNOULLI (0.1) WHERE t.x >= 1e-3",
+	"EXPLAIN SELECT COUNT(*) FROM t",
+	"EXPLAIN ANALYZE SELECT SUM(x) FROM t WHERE x > 1 GROUP BY g",
+	"EXPLAIN ANALYZE SELECT AVG(x) FROM t WITH ERROR 5% CONFIDENCE 95%",
 }
 
 // FuzzParse asserts the two properties the rest of the system leans on:

@@ -40,6 +40,7 @@ var keywords = map[string]bool{
 	"BILEVEL": true,
 	"WITH":    true, "ERROR": true, "CONFIDENCE": true, "NULL": true,
 	"TRUE": true, "FALSE": true, "LIKE": true, "IS": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // Lex tokenizes input, returning all tokens including a trailing EOF.

@@ -21,10 +21,14 @@ func Parse(input string) (*SelectStmt, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks, input: input}
+	explain := p.acceptKeyword("EXPLAIN")
+	analyze := explain && p.acceptKeyword("ANALYZE")
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
 	}
+	stmt.Explain = explain
+	stmt.Analyze = analyze
 	// Allow a trailing semicolon.
 	p.acceptSymbol(";")
 	if !p.atEOF() {

@@ -1,0 +1,380 @@
+// Package trace is an allocation-light span recorder for per-query
+// execution profiles. A Tracer owns a tree of Spans (name, accumulated
+// duration, rows in/out, string attrs); the current span travels through
+// the stack via context.Context.
+//
+// The package is built around one invariant: when no Tracer is installed
+// on the context, every entry point is a no-op that allocates nothing.
+// StartSpan returns a nil *Span on a tracer-less context, and every Span
+// method is nil-safe, so call sites never need their own "is tracing on"
+// branch on the hot path — though loops that would call time.Now per row
+// should still guard on `sp != nil`.
+//
+// Spans record observations only; they must never influence execution
+// (morsel sizing, claim order, merge order), so that a traced run is
+// bit-identical to an untraced one.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer is the root of one query's span tree.
+type Tracer struct {
+	root *Span
+}
+
+// New creates a Tracer whose root span has the given name. The root span
+// starts immediately; call Finish (or root.End) before rendering.
+func New(name string) *Tracer {
+	return &Tracer{root: &Span{name: name, start: time.Now(), timed: true}}
+}
+
+// Root returns the root span.
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span. Idempotent.
+func (t *Tracer) Finish() {
+	if t != nil {
+		t.root.End()
+	}
+}
+
+// Profile snapshots the span tree into an exportable form. The root is
+// ended first if still running.
+func (t *Tracer) Profile() *Profile {
+	if t == nil {
+		return nil
+	}
+	t.root.End()
+	return t.root.profile()
+}
+
+// ctxKey carries the *current* span (not the tracer): children attach to
+// whatever span is on the context.
+type ctxKey struct{}
+
+func withSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// WithTracer installs t's root span as the current span on ctx.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return withSpan(ctx, t.root)
+}
+
+// SpanFromContext returns the current span, or nil when tracing is off.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// Enabled reports whether a span is installed on ctx.
+func Enabled(ctx context.Context) bool { return SpanFromContext(ctx) != nil }
+
+// StartSpan opens a timed child of the current span and returns it along
+// with a context carrying it. When tracing is disabled it returns
+// (nil, ctx) without allocating.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	sp := parent.newChild(name)
+	sp.start = time.Now()
+	sp.timed = true
+	return sp, withSpan(ctx, sp)
+}
+
+// StartOp opens an *accumulating* child of the current span: it has no
+// start time, and its duration is whatever the caller adds via AddTime.
+// Operators use this so their reported time is busy time inside
+// Open/Next/Close, not wall time from build to close.
+func StartOp(ctx context.Context, name string) (*Span, context.Context) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return nil, ctx
+	}
+	sp := parent.newChild(name)
+	return sp, withSpan(ctx, sp)
+}
+
+// Span is one node in the profile tree. All methods are safe on a nil
+// receiver (no-ops), and safe for concurrent use: morsel workers append
+// to their own pre-created spans while the parent holds others.
+type Span struct {
+	name  string
+	start time.Time
+	timed bool // duration = end-start; otherwise accumulated via AddTime
+
+	mu       sync.Mutex
+	done     bool
+	dur      time.Duration
+	rowsIn   int64
+	rowsInOK bool
+	rowsOut  int64
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key/value annotation on a span. A slice (not a map) keeps
+// rendering order deterministic: insertion order.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// End stops a timed span's clock. Idempotent; no-op for accumulating
+// spans and nil spans.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done && s.timed {
+		s.dur = time.Since(s.start)
+	}
+	s.done = true
+	s.mu.Unlock()
+}
+
+// AddTime adds d to the span's accumulated duration.
+func (s *Span) AddTime(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dur += d
+	s.mu.Unlock()
+}
+
+// AddRows adds n to the span's rows-out counter.
+func (s *Span) AddRows(n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rowsOut += n
+	s.mu.Unlock()
+}
+
+// SetRowsIn records the span's input cardinality explicitly. Without it,
+// rows-in is inferred at snapshot time as the sum of child rows-out.
+func (s *Span) SetRowsIn(n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rowsIn = n
+	s.rowsInOK = true
+	s.mu.Unlock()
+}
+
+// SetAttr records (or overwrites) a string attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetAttrInt records an integer attribute.
+func (s *Span) SetAttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, fmt.Sprintf("%d", v))
+}
+
+// SetAttrFloat records a float attribute with compact formatting.
+func (s *Span) SetAttrFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, fmt.Sprintf("%g", v))
+}
+
+// NewChild attaches an accumulating child span and returns it. Use for
+// spans whose time is added explicitly (workers, merge phases).
+func (s *Span) NewChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.newChild(name)
+}
+
+// StartChild attaches a timed child span (clock running) and returns it.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	sp := s.newChild(name)
+	sp.start = time.Now()
+	sp.timed = true
+	return sp
+}
+
+func (s *Span) newChild(name string) *Span {
+	sp := &Span{name: name}
+	s.mu.Lock()
+	s.children = append(s.children, sp)
+	s.mu.Unlock()
+	return sp
+}
+
+// Snapshot exports the subtree rooted at s without ending it (nil-safe).
+// Timed spans that are still running report zero duration.
+func (s *Span) Snapshot() *Profile {
+	if s == nil {
+		return nil
+	}
+	return s.profile()
+}
+
+// Profile is the exportable snapshot of a span tree, JSON-encodable and
+// pretty-printable.
+type Profile struct {
+	Name       string     `json:"name"`
+	DurationMS float64    `json:"duration_ms"`
+	RowsIn     int64      `json:"rows_in,omitempty"`
+	RowsOut    int64      `json:"rows_out,omitempty"`
+	Attrs      []Attr     `json:"attrs,omitempty"`
+	Children   []*Profile `json:"children,omitempty"`
+}
+
+func (s *Span) profile() *Profile {
+	s.mu.Lock()
+	p := &Profile{
+		Name:       s.name,
+		DurationMS: float64(s.dur) / float64(time.Millisecond),
+		RowsOut:    s.rowsOut,
+	}
+	p.Attrs = append(p.Attrs, s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	rowsIn, rowsInOK := s.rowsIn, s.rowsInOK
+	s.mu.Unlock()
+
+	var childOut int64
+	for _, c := range children {
+		cp := c.profile()
+		p.Children = append(p.Children, cp)
+		childOut += cp.RowsOut
+	}
+	if rowsInOK {
+		p.RowsIn = rowsIn
+	} else if len(children) > 0 {
+		p.RowsIn = childOut
+	}
+	return p
+}
+
+// Attr returns the value of the named attribute ("" if absent).
+func (p *Profile) Attr(key string) string {
+	for _, a := range p.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Find returns the first profile node (depth-first, p included) whose
+// name contains substr, or nil.
+func (p *Profile) Find(substr string) *Profile {
+	if p == nil {
+		return nil
+	}
+	if strings.Contains(p.Name, substr) {
+		return p
+	}
+	for _, c := range p.Children {
+		if hit := c.Find(substr); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// FindAll returns every node (depth-first) whose name contains substr.
+func (p *Profile) FindAll(substr string) []*Profile {
+	if p == nil {
+		return nil
+	}
+	var out []*Profile
+	if strings.Contains(p.Name, substr) {
+		out = append(out, p)
+	}
+	for _, c := range p.Children {
+		out = append(out, c.FindAll(substr)...)
+	}
+	return out
+}
+
+// String renders the profile as an indented tree, one node per line:
+//
+//	query                                    12.40ms
+//	├─ engine exact                          12.30ms
+//	│  └─ HashAggregate(...)                 11.90ms  in=500000 out=1  workers=4
+func (p *Profile) String() string {
+	var sb strings.Builder
+	p.render(&sb, "", "", true)
+	return sb.String()
+}
+
+// Lines returns the rendered tree split into lines (no trailing blank).
+func (p *Profile) Lines() []string {
+	return strings.Split(strings.TrimRight(p.String(), "\n"), "\n")
+}
+
+func (p *Profile) render(sb *strings.Builder, branch, indent string, root bool) {
+	label := branch + p.Name
+	fmt.Fprintf(sb, "%-44s %9.2fms", label, p.DurationMS)
+	if p.RowsIn > 0 || p.RowsOut > 0 {
+		fmt.Fprintf(sb, "  in=%d out=%d", p.RowsIn, p.RowsOut)
+	}
+	for _, a := range p.Attrs {
+		fmt.Fprintf(sb, "  %s=%s", a.Key, a.Value)
+	}
+	sb.WriteByte('\n')
+	for i, c := range p.Children {
+		last := i == len(p.Children)-1
+		cb, ci := "├─ ", "│  "
+		if last {
+			cb, ci = "└─ ", "   "
+		}
+		c.render(sb, indent+cb, indent+ci, false)
+	}
+}
+
+// SortChildrenByName orders each node's children lexically. Useful for
+// stable assertions in tests where concurrent attachment order varies.
+// (Worker spans are pre-created in index order, so normal profiles are
+// already deterministic; this exists for defensive test hygiene.)
+func (p *Profile) SortChildrenByName() {
+	sort.SliceStable(p.Children, func(i, j int) bool { return p.Children[i].Name < p.Children[j].Name })
+	for _, c := range p.Children {
+		c.SortChildrenByName()
+	}
+}

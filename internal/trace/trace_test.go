@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDisabledPathAllocatesZero is the load-bearing property: with no
+// tracer on the context, the full span API must not allocate, so the
+// executor can call it unconditionally.
+func TestDisabledPathAllocatesZero(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp, ctx2 := StartSpan(ctx, "op")
+		sp.SetAttr("k", "v")
+		sp.AddRows(10)
+		sp.AddTime(time.Millisecond)
+		sp.SetRowsIn(5)
+		child := sp.NewChild("w")
+		child.End()
+		sp.End()
+		op, _ := StartOp(ctx2, "op2")
+		op.End()
+		if Enabled(ctx2) {
+			t.Fatal("tracing unexpectedly enabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace path allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var sp *Span
+	sp.End()
+	sp.AddTime(time.Second)
+	sp.AddRows(1)
+	sp.SetRowsIn(1)
+	sp.SetAttr("a", "b")
+	sp.SetAttrInt("a", 1)
+	sp.SetAttrFloat("a", 0.5)
+	if c := sp.NewChild("x"); c != nil {
+		t.Fatal("NewChild on nil span should return nil")
+	}
+	if c := sp.StartChild("x"); c != nil {
+		t.Fatal("StartChild on nil span should return nil")
+	}
+	var tr *Tracer
+	tr.Finish()
+	if tr.Profile() != nil {
+		t.Fatal("nil tracer Profile should be nil")
+	}
+	if tr.Root() != nil {
+		t.Fatal("nil tracer Root should be nil")
+	}
+}
+
+func TestSpanTreeAndProfile(t *testing.T) {
+	tr := New("query")
+	ctx := WithTracer(context.Background(), tr)
+	if !Enabled(ctx) {
+		t.Fatal("tracing should be enabled")
+	}
+
+	eng, ectx := StartSpan(ctx, "engine exact")
+	op, _ := StartOp(ectx, "HashAggregate")
+	op.AddTime(3 * time.Millisecond)
+	op.AddRows(2)
+	op.SetRowsIn(100)
+	op.SetAttr("workers", "4")
+	w0 := op.NewChild("worker 0")
+	w0.AddTime(time.Millisecond)
+	w0.SetAttrInt("morsels", 7)
+	eng.End()
+	tr.Finish()
+
+	p := tr.Profile()
+	if p.Name != "query" {
+		t.Fatalf("root name = %q", p.Name)
+	}
+	agg := p.Find("HashAggregate")
+	if agg == nil {
+		t.Fatal("HashAggregate span missing from profile")
+	}
+	if agg.RowsIn != 100 || agg.RowsOut != 2 {
+		t.Fatalf("agg rows in/out = %d/%d, want 100/2", agg.RowsIn, agg.RowsOut)
+	}
+	if agg.DurationMS < 3 {
+		t.Fatalf("agg duration %vms, want >= 3ms", agg.DurationMS)
+	}
+	if agg.Attr("workers") != "4" {
+		t.Fatalf("workers attr = %q", agg.Attr("workers"))
+	}
+	worker := p.Find("worker 0")
+	if worker == nil || worker.Attr("morsels") != "7" {
+		t.Fatalf("worker span missing or wrong: %+v", worker)
+	}
+	if got := len(p.FindAll("worker")); got != 1 {
+		t.Fatalf("FindAll(worker) = %d nodes, want 1", got)
+	}
+
+	// Rows-in inference: a span without SetRowsIn reports the sum of its
+	// children's rows-out.
+	if eng := p.Find("engine exact"); eng.RowsIn != 2 {
+		t.Fatalf("inferred rows-in = %d, want 2 (child rows-out)", eng.RowsIn)
+	}
+
+	// JSON encodes without error and round-trips the structure.
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Profile
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Find("worker 0") == nil {
+		t.Fatal("worker span lost in JSON round-trip")
+	}
+
+	// Pretty rendering contains the tree glyphs and row counts.
+	s := p.String()
+	for _, want := range []string{"query", "└─", "HashAggregate", "in=100 out=2", "workers=4", "worker 0", "morsels=7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered profile missing %q:\n%s", want, s)
+		}
+	}
+	if got := len(p.Lines()); got < 4 {
+		t.Fatalf("Lines() = %d lines, want >= 4\n%s", got, s)
+	}
+}
+
+func TestSetAttrOverwrites(t *testing.T) {
+	tr := New("q")
+	tr.Root().SetAttr("k", "1")
+	tr.Root().SetAttr("k", "2")
+	p := tr.Profile()
+	if len(p.Attrs) != 1 || p.Attrs[0].Value != "2" {
+		t.Fatalf("attrs = %+v, want single k=2", p.Attrs)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New("q")
+	sp := tr.Root().StartChild("s")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	d1 := tr.Profile().Children[0].DurationMS
+	time.Sleep(5 * time.Millisecond)
+	sp.End()
+	d2 := tr.Profile().Children[0].DurationMS
+	if d1 != d2 {
+		t.Fatalf("End not idempotent: %v then %v", d1, d2)
+	}
+	if d1 <= 0 {
+		t.Fatalf("duration %v, want > 0", d1)
+	}
+}
+
+func TestConcurrentWorkersRace(t *testing.T) {
+	tr := New("q")
+	op := tr.Root().NewChild("agg")
+	const workers = 8
+	spans := make([]*Span, workers)
+	for i := range spans {
+		spans[i] = op.NewChild("worker")
+	}
+	done := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		go func(sp *Span) {
+			for j := 0; j < 100; j++ {
+				sp.AddTime(time.Microsecond)
+				sp.AddRows(1)
+				sp.SetAttrInt("n", int64(j))
+			}
+			done <- struct{}{}
+		}(spans[i])
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	p := tr.Profile()
+	if got := len(p.Find("agg").Children); got != workers {
+		t.Fatalf("worker spans = %d, want %d", got, workers)
+	}
+	if p.Find("agg").RowsIn != workers*100 {
+		t.Fatalf("inferred rows-in = %d, want %d", p.Find("agg").RowsIn, workers*100)
+	}
+}
