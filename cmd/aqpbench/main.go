@@ -7,6 +7,7 @@
 //	aqpbench -exp all -rows 1000000 -trials 30
 //	aqpbench -exp E4 -json        # also write results/bench_E4.json
 //	aqpbench -profile             # print an EXPLAIN ANALYZE span profile
+//	aqpbench -audit               # smoke-test the accuracy-audit lane
 //	aqpbench -list
 package main
 
@@ -21,6 +22,8 @@ import (
 	"time"
 
 	aqp "repro"
+	"repro/internal/audit"
+	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/workload"
@@ -51,6 +54,7 @@ func main() {
 		jsonOut = flag.Bool("json", false, "also write each table to results/bench_<id>.json")
 		outDir  = flag.String("out", "results", "directory for -json output")
 		profile = flag.Bool("profile", false, "print an EXPLAIN ANALYZE span profile of a canonical query and exit")
+		auditSm = flag.Bool("audit", false, "run the accuracy-audit smoke: serve sampled queries, drain the audit lane, fail on backlog or errors")
 	)
 	flag.Parse()
 
@@ -63,6 +67,13 @@ func main() {
 	if *profile {
 		if err := runProfile(*rows, *seed, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "aqpbench: profile: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *auditSm {
+		if err := runAuditSmoke(*rows, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: audit smoke: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -128,6 +139,58 @@ func runProfile(rows int, seed int64, workers int) error {
 		return err
 	}
 	fmt.Printf("advisor (technique=%s guarantee=%s):\n%s", res.Technique, res.Guarantee, prof.String())
+	return nil
+}
+
+// runAuditSmoke exercises the full audit lane end to end without a
+// server: serve sampled queries over disjoint row windows, hand every
+// answer to an embedded auditor, drain, and fail if the backlog is
+// nonzero after the drain, any ground-truth run errored, or nothing was
+// audited. CI runs this as a release gate on the audit subsystem.
+func runAuditSmoke(rows int, seed int64) error {
+	const queries = 60
+	if rows < queries {
+		rows = queries
+	}
+	ev, err := workload.GenerateEvents(workload.EventsConfig{
+		Seed: seed, Rows: rows, NumGroups: 16, Skew: 0.8,
+	})
+	if err != nil {
+		return err
+	}
+	db := aqp.Open(ev.Catalog, aqp.WithOnlineConfig(core.OnlineConfig{
+		DefaultRate: 0.5, MinTableRows: 1, Seed: seed,
+	}))
+	aud := audit.New(db, nil, audit.Config{Fraction: 1, QueueCap: queries + 8, Seed: seed})
+	defer aud.Close()
+
+	window := rows / queries
+	spec := aqp.ErrorSpec{RelError: 0.5, Confidence: 0.95}
+	for i := 0; i < queries; i++ {
+		sql := fmt.Sprintf("SELECT SUM(ev_value) FROM events WHERE ev_ts >= %d AND ev_ts < %d",
+			i*window, (i+1)*window)
+		res, err := db.QueryOnline(sql, spec)
+		if err != nil {
+			return fmt.Errorf("serve %q: %w", sql, err)
+		}
+		aud.Offer(res, sql)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := aud.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w (backlog %d)", err, aud.Backlog())
+	}
+	rep := aud.Report()
+	fmt.Print(rep.String())
+	if rep.Backlog != 0 {
+		return fmt.Errorf("audit backlog %d nonzero after drain", rep.Backlog)
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d ground-truth executions failed", rep.Errors)
+	}
+	if rep.Audited != queries {
+		return fmt.Errorf("audited %d of %d served queries", rep.Audited, queries)
+	}
 	return nil
 }
 

@@ -8,7 +8,8 @@
 //	aqpd -load orders=orders.csv          # serve CSV tables (repeatable)
 //
 // Endpoints: POST /query, GET /tables, POST /samples/build,
-// GET /metrics, GET /healthz. See README.md for a curl quickstart.
+// GET /metrics, GET /audit, GET /healthz. See README.md for a curl
+// quickstart.
 package main
 
 import (
@@ -56,6 +57,9 @@ func main() {
 		logLevel   = flag.String("log-level", "info", "query log level: debug logs every query, info only slow ones and errors")
 		logFormat  = flag.String("log-format", "text", "query log format: text or json")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		auditFrac  = flag.Float64("audit-fraction", 0, "fraction of served approximate queries re-checked exactly in the background (0 disables accuracy auditing)")
+		auditQueue = flag.Int("audit-queue", 64, "max pending audits before the oldest is shed")
+		auditWin   = flag.Int("audit-window", 256, "rolling window of the per-technique coverage estimators")
 		loads      loadFlags
 	)
 	flag.Var(&loads, "load", "load a CSV table as name=path.csv (repeatable; types inferred)")
@@ -95,6 +99,10 @@ func main() {
 		Logger:          slog.New(handler),
 		SlowQuery:       *slowQuery,
 		EnablePprof:     *pprofOn,
+		AuditFraction:   *auditFrac,
+		AuditQueueCap:   *auditQueue,
+		AuditWindow:     *auditWin,
+		AuditSeed:       *seed,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -105,6 +113,10 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("aqpd listening on %s (%d workers, queue %d, default timeout %s)",
 		*addr, *workers, *queueCap, *defTimeout)
+	if *auditFrac > 0 {
+		log.Printf("aqpd: accuracy auditing %.0f%% of approximate queries (queue %d, window %d); GET /audit for the report",
+			*auditFrac*100, *auditQueue, *auditWin)
+	}
 
 	select {
 	case err := <-errc:

@@ -6,6 +6,11 @@
 //
 //	aqpgen -dataset star   -rows 1000000 -skew 1.2 -out ./data
 //	aqpgen -dataset events -rows 500000  -groups 200 -skew 1.4 -dist pareto -out ./data
+//	aqpgen -dataset events -rows 500000 -drift 50000 -drift-factor 4 -out ./data
+//
+// -drift appends skewed rows after generation, shifting the value
+// distribution the way a live update stream would — the dataset for
+// demonstrating sample-staleness detection by the accuracy auditor.
 package main
 
 import (
@@ -29,6 +34,8 @@ func main() {
 		dist    = flag.String("dist", "exp", "events: value distribution (uniform|exp|lognormal|pareto)")
 		seed    = flag.Int64("seed", 42, "random seed")
 		out     = flag.String("out", ".", "output directory")
+		drift   = flag.Int("drift", 0, "events: append this many drifted rows after generation (staleness demo)")
+		driftX  = flag.Float64("drift-factor", 4, "events: multiplier on drifted-row values")
 	)
 	flag.Parse()
 
@@ -51,9 +58,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *drift > 0 {
+			if err := ev.AppendShifted(*drift, *driftX, *seed+1); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("appended %d drifted rows (values ×%g) after the base %d\n",
+				*drift, *driftX, *rows)
+		}
 		tables = []*storage.Table{ev.Table}
 	default:
 		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+	if *drift > 0 && *dataset != "events" {
+		fatal(fmt.Errorf("-drift applies to -dataset events only"))
 	}
 
 	for _, t := range tables {

@@ -18,10 +18,13 @@
 //	\synopsis <table> <col>     build histogram/HLL/CMS synopses
 //	\advise <sql>               show which engine the advisor would pick
 //	\matrix <sql> [; <sql>...]  measure the no-silver-bullet matrix on probes
+//	\audit                      print the continuous accuracy-audit report
 //	\quit
 //
 // Plain SQL runs through the advisor; append `WITH ERROR 5% CONFIDENCE
-// 95%` to set the accuracy contract.
+// 95%` to set the accuracy contract. Every approximate answer is also
+// handed to an embedded accuracy auditor, which re-executes it exactly
+// in the background; \audit shows the rolling CI-coverage report.
 package main
 
 import (
@@ -31,13 +34,36 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	aqp "repro"
+	"repro/internal/audit"
 	"repro/internal/workload"
 )
 
+// shell bundles the open DB with its embedded accuracy auditor; \gen
+// swaps both, since an auditor is bound to one DB's exact path.
+type shell struct {
+	db  *aqp.DB
+	aud *audit.Auditor
+}
+
+// setDB replaces the database and rebinds the auditor to it.
+func (sh *shell) setDB(db *aqp.DB) {
+	sh.aud.Close()
+	sh.db = db
+	sh.aud = newAuditor(db)
+}
+
+// newAuditor audits every approximate answer (fraction 1, no capacity
+// gate — a single-user shell has no foreground to starve).
+func newAuditor(db *aqp.DB) *audit.Auditor {
+	return audit.New(db, nil, audit.Config{Fraction: 1, Seed: 42})
+}
+
 func main() {
-	db := aqp.New()
+	sh := &shell{db: aqp.New()}
+	sh.aud = newAuditor(sh.db)
 	fmt.Println("aqpsh — approximate query shell (\\gen to create data, \\quit to exit)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -51,12 +77,12 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(line, "\\") {
-			if quit := meta(&db, line); quit {
+			if quit := meta(sh, line); quit {
 				return
 			}
 			continue
 		}
-		res, err := db.QueryApprox(line)
+		res, err := sh.db.QueryApprox(line)
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
@@ -65,12 +91,13 @@ func main() {
 		for _, m := range res.Diagnostics.Messages {
 			fmt.Println("  ·", m)
 		}
+		sh.aud.Offer(res, line)
 	}
 }
 
 // meta handles backslash commands; returns true to quit.
-func meta(dbp **aqp.DB, line string) bool {
-	db := *dbp
+func meta(sh *shell, line string) bool {
+	db := sh.db
 	fields := strings.Fields(line)
 	cmd := fields[0]
 	rest := strings.TrimSpace(strings.TrimPrefix(line, cmd))
@@ -107,7 +134,7 @@ func meta(dbp **aqp.DB, line string) bool {
 				fmt.Println("error:", err)
 				return false
 			}
-			*dbp = aqp.Open(star.Catalog)
+			sh.setDB(aqp.Open(star.Catalog))
 			fmt.Printf("generated star schema: lineitem=%d orders=%d customer=%d part=%d supplier=%d\n",
 				star.Lineitem.NumRows(), star.Orders.NumRows(), star.Customer.NumRows(),
 				star.Part.NumRows(), star.Supplier.NumRows())
@@ -127,7 +154,7 @@ func meta(dbp **aqp.DB, line string) bool {
 				fmt.Println("error:", err)
 				return false
 			}
-			*dbp = aqp.Open(ev.Catalog)
+			sh.setDB(aqp.Open(ev.Catalog))
 			fmt.Printf("generated events: %d rows, %d groups, skew %.2f\n", rows, groups, skew)
 		default:
 			fmt.Println("unknown dataset:", fields[1])
@@ -212,6 +239,15 @@ func meta(dbp **aqp.DB, line string) bool {
 				r.Technique, r.SupportedFraction*100, r.APrioriFraction*100,
 				r.MeanWorkSaved*100, r.PrecomputeRows)
 		}
+	case "\\audit":
+		// Wait for pending background re-executions so the report covers
+		// everything offered so far.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := sh.aud.Drain(ctx); err != nil {
+			fmt.Printf("warning: audit backlog not drained: %v\n", err)
+		}
+		fmt.Print(sh.aud.Report().String())
 	case "\\synopsis":
 		if len(fields) < 3 {
 			fmt.Println("usage: \\synopsis <table> <col>")

@@ -39,7 +39,7 @@ func (a *Advisor) Choose(stmt *sqlparse.SelectStmt, spec ErrorSpec) Decision {
 	// Non-linear aggregates: synopses may still help COUNT DISTINCT.
 	if ok, reason := supportedForSampling(stmt); !ok {
 		if a.Synopsis != nil {
-			if _, _, _, err := a.Synopsis.answer(stmt); err == nil {
+			if _, _, _, _, err := a.Synopsis.answer(stmt); err == nil {
 				return Decision{Technique: TechniqueSynopsis, Guarantee: GuaranteeAPosteriori,
 					Reason: "non-linear aggregate answerable from a synopsis"}
 			}
@@ -49,7 +49,7 @@ func (a *Advisor) Choose(stmt *sqlparse.SelectStmt, spec ErrorSpec) Decision {
 	}
 	// Synopses answer their narrow class fastest.
 	if a.Synopsis != nil {
-		if _, _, _, err := a.Synopsis.answer(stmt); err == nil {
+		if _, _, _, _, err := a.Synopsis.answer(stmt); err == nil {
 			return Decision{Technique: TechniqueSynopsis, Guarantee: GuaranteeAPosteriori,
 				Reason: "query shape matches a precomputed synopsis"}
 		}

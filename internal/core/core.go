@@ -129,8 +129,49 @@ type Diagnostics struct {
 	// Workers is the resolved morsel-parallel worker count the execution
 	// ran with (1 = serial).
 	Workers int
+	// Lineage records the provenance of the data the answer was computed
+	// from, so accuracy audits can correlate coverage misses with data
+	// drift after the fact.
+	Lineage SampleLineage
 	// Messages carries human-readable engine notes.
 	Messages []string
+}
+
+// SampleLineage ties a result to the state of the base table its backing
+// sample (or scan) was drawn from. For query-time techniques the build
+// watermark equals the execution-time snapshot; for offline samples and
+// synopses it is the watermark at construction, which is what makes
+// post-hoc staleness attribution possible: an audit that re-executes the
+// query exactly and misses can check how many rows arrived after
+// BuildRows.
+type SampleLineage struct {
+	// Table is the primary FROM table.
+	Table string
+	// TableVersion / TableRows snapshot the base table at execution time.
+	TableVersion uint64
+	TableRows    int
+	// SampleName identifies the stored sample or synopsis answered from
+	// ("" for query-time sampling and exact runs).
+	SampleName string
+	// BuildVersion / BuildRows are the base table's version and row count
+	// when the backing sample/synopsis was built (equal to TableVersion /
+	// TableRows when the data was read at query time).
+	BuildVersion uint64
+	BuildRows    int
+}
+
+// stampLineage fills d.Lineage for a query-time read of the statement's
+// base table: the build watermark is the execution-time snapshot.
+func stampLineage(d *Diagnostics, cat *storage.Catalog, table string) {
+	t, err := cat.Table(table)
+	if err != nil {
+		return
+	}
+	v, n := t.Version(), t.NumRows()
+	d.Lineage = SampleLineage{
+		Table: table, TableVersion: v, TableRows: n,
+		BuildVersion: v, BuildRows: n,
+	}
 }
 
 // Result is an annotated query result.

@@ -59,6 +59,7 @@ func (e *ExactEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectS
 	out.Diagnostics.Latency = time.Since(start)
 	out.Diagnostics.SampleFraction = 1
 	out.Diagnostics.Workers = workers
+	stampLineage(&out.Diagnostics, e.Catalog, stmt.From.Name)
 	return out, nil
 }
 
@@ -103,5 +104,6 @@ func ExecuteAsWrittenContext(ctx context.Context, cat *storage.Catalog, stmt *sq
 	} else {
 		out.Diagnostics.SampleFraction = 1
 	}
+	stampLineage(&out.Diagnostics, cat, stmt.From.Name)
 	return out, nil
 }

@@ -85,6 +85,10 @@ type StoredSample struct {
 	Rows int
 	// BuildVersion is the base table version at build time.
 	BuildVersion uint64
+	// BuildRows is the base table row count at build time — the row
+	// watermark staleness attribution is measured against. Unlike
+	// BuildCostRows it is refreshed on Rebuild.
+	BuildRows int
 	// BuildCostRows is the number of base rows scanned to build it.
 	BuildCostRows int
 	// Profile maps a profile key (see profileKey) to the maximum
@@ -187,8 +191,9 @@ func (e *OfflineEngine) BuildSamples(table string, qcsList [][]string) error {
 			e.store(&StoredSample{
 				Name: name, Source: table, QCS: append([]string(nil), qcs...),
 				Cap: cap, Data: res.Table, Rows: res.SampleRows,
-				BuildVersion: res.BuildVersion, BuildCostRows: res.SourceRows,
-				Profile: make(map[string]float64),
+				BuildVersion: res.BuildVersion, BuildRows: res.SourceRows,
+				BuildCostRows: res.SourceRows,
+				Profile:       make(map[string]float64),
 			})
 		}
 	}
@@ -201,7 +206,8 @@ func (e *OfflineEngine) BuildSamples(table string, qcsList [][]string) error {
 		e.store(&StoredSample{
 			Name: name, Source: table, Rate: rate, Data: res.Table,
 			Rows: res.SampleRows, BuildVersion: res.BuildVersion,
-			BuildCostRows: res.SourceRows, Profile: make(map[string]float64),
+			BuildRows: res.SourceRows, BuildCostRows: res.SourceRows,
+			Profile:   make(map[string]float64),
 		})
 	}
 	e.Maintenance.WallTime += time.Since(start)
@@ -245,6 +251,7 @@ func (e *OfflineEngine) rebuildLocked(table string) error {
 			s.Data = res.Table
 			s.Rows = res.SampleRows
 			s.BuildVersion = res.BuildVersion
+			s.BuildRows = res.SourceRows
 		} else {
 			res, err := sample.BuildUniformTable(t, s.Rate, e.Config.Seed+int64(e.nextID), s.Name)
 			if err != nil {
@@ -253,6 +260,7 @@ func (e *OfflineEngine) rebuildLocked(table string) error {
 			s.Data = res.Table
 			s.Rows = res.SampleRows
 			s.BuildVersion = res.BuildVersion
+			s.BuildRows = res.SourceRows
 		}
 		e.nextID++
 		e.Maintenance.RowsScanned += int64(t.NumRows())
@@ -536,6 +544,12 @@ func (e *OfflineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Selec
 	if t, err := e.Catalog.Table(table); err == nil && t.NumRows() > 0 {
 		out.Diagnostics.SampleFraction = float64(best.rows) / float64(t.NumRows())
 	}
+	// Lineage: current snapshot plus the stored sample's build watermark,
+	// so audits can tell "sample predates these rows" from "estimator bad".
+	stampLineage(&out.Diagnostics, e.Catalog, table)
+	out.Diagnostics.Lineage.SampleName = best.name
+	out.Diagnostics.Lineage.BuildVersion = best.s.BuildVersion
+	out.Diagnostics.Lineage.BuildRows = best.s.BuildRows
 	out.Diagnostics.Messages = append(out.Diagnostics.Messages,
 		fmt.Sprintf("offline: answered from sample %s (%d rows, profiled err %.4f)",
 			best.name, best.rows, best.prof))

@@ -281,6 +281,7 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 	final.Diagnostics.Latency = time.Since(start)
 	final.Diagnostics.SampleFraction = float64(read) / math.Max(float64(n), 1)
 	final.Diagnostics.Workers = workers
+	stampLineage(&final.Diagnostics, e.Catalog, stmt.From.Name)
 	final.Diagnostics.Counters.RowsScanned = int64(read)
 	final.Diagnostics.Counters.RowsEmitted = int64(read)
 	final.Diagnostics.Counters.Passes = 1

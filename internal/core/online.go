@@ -91,6 +91,7 @@ type OnlineEngine struct {
 type cachedSample struct {
 	data    *storage.Table // sample with weight column
 	version uint64         // base table version at build time
+	srcRows int            // base table rows at build time
 	rate    float64
 }
 
@@ -273,6 +274,7 @@ func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Select
 	out.Diagnostics.Messages = append(out.Diagnostics.Messages, notes...)
 	out.Diagnostics.SampleFraction = sampleFraction(raw.Counters, sampledRows(p))
 	out.Diagnostics.Workers = workers
+	stampLineage(&out.Diagnostics, e.Catalog, stmt.From.Name)
 	esp.SetAttrFloat("sample_fraction", out.Diagnostics.SampleFraction)
 
 	if !out.Diagnostics.SpecSatisfied && e.Config.FallbackToExact {
@@ -333,7 +335,7 @@ func (e *OnlineEngine) tryCached(ctx context.Context, stmt *sqlparse.SelectStmt,
 			e.mu.Unlock()
 			return nil, true, err
 		}
-		c = &cachedSample{data: res.Table, version: res.BuildVersion, rate: rate}
+		c = &cachedSample{data: res.Table, version: res.BuildVersion, srcRows: res.SourceRows, rate: rate}
 		e.cache[name] = c
 		e.CacheMisses++
 		builtRows = int64(base.NumRows())
@@ -378,6 +380,12 @@ func (e *OnlineEngine) tryCached(ctx context.Context, stmt *sqlparse.SelectStmt,
 	if base.NumRows() > 0 {
 		out.Diagnostics.SampleFraction = float64(c.data.NumRows()) / float64(base.NumRows())
 	}
+	// The cached sample may predate this execution: lineage carries its
+	// build watermark, not the current snapshot's.
+	stampLineage(&out.Diagnostics, e.Catalog, name)
+	out.Diagnostics.Lineage.SampleName = c.data.Name()
+	out.Diagnostics.Lineage.BuildVersion = c.version
+	out.Diagnostics.Lineage.BuildRows = c.srcRows
 	out.Diagnostics.Latency = time.Since(start)
 	return out, true, nil
 }

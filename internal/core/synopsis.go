@@ -35,7 +35,15 @@ type SynopsisEngine struct {
 	histograms map[string]*sketch.EquiDepthHistogram // table.col
 	hlls       map[string]*sketch.HyperLogLog
 	cms        map[string]*sketch.CountMin
+	built      map[string]synLineage // table.col -> base watermark at build
 	buildRows  int64
+}
+
+// synLineage is the base-table watermark when a column's synopses were
+// built; audits use it to attribute coverage misses to drift.
+type synLineage struct {
+	version uint64
+	rows    int
 }
 
 // NewSynopsisEngine builds an empty synopsis engine.
@@ -45,6 +53,7 @@ func NewSynopsisEngine(cat *storage.Catalog) *SynopsisEngine {
 		histograms: make(map[string]*sketch.EquiDepthHistogram),
 		hlls:       make(map[string]*sketch.HyperLogLog),
 		cms:        make(map[string]*sketch.CountMin),
+		built:      make(map[string]synLineage),
 	}
 }
 
@@ -71,6 +80,7 @@ func (e *SynopsisEngine) BuildColumn(table, col string, buckets int) error {
 	if idx < 0 {
 		return fmt.Errorf("core: synopsis column %s.%s not found", table, col)
 	}
+	version := t.Version()
 	c := t.Snapshot().Column(idx)
 	key := synKey(table, col)
 	hll, err := sketch.NewHyperLogLog(14)
@@ -111,6 +121,7 @@ func (e *SynopsisEngine) BuildColumn(table, col string, buckets int) error {
 	if hist != nil {
 		e.histograms[key] = hist
 	}
+	e.built[key] = synLineage{version: version, rows: c.Len()}
 	e.mu.Unlock()
 	return nil
 }
@@ -134,7 +145,7 @@ func (e *SynopsisEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Sele
 	if !spec.Valid() {
 		spec = DefaultErrorSpec
 	}
-	est, name, iv, err := e.answer(stmt)
+	est, name, iv, key, err := e.answer(stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -153,21 +164,29 @@ func (e *SynopsisEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Sele
 	out.Diagnostics.SpecSatisfied = rel <= spec.RelError
 	out.Diagnostics.Latency = time.Since(start)
 	out.Diagnostics.SampleFraction = 0
+	stampLineage(&out.Diagnostics, e.Catalog, stmt.From.Name)
+	out.Diagnostics.Lineage.SampleName = key
+	e.mu.RLock()
+	if bl, ok := e.built[key]; ok {
+		out.Diagnostics.Lineage.BuildVersion = bl.version
+		out.Diagnostics.Lineage.BuildRows = bl.rows
+	}
+	e.mu.RUnlock()
 	return out, nil
 }
 
 // answer pattern-matches the supported query shapes.
-func (e *SynopsisEngine) answer(stmt *sqlparse.SelectStmt) (float64, string, stats.Interval, error) {
+func (e *SynopsisEngine) answer(stmt *sqlparse.SelectStmt) (float64, string, stats.Interval, string, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	none := stats.Interval{}
 	if len(stmt.Joins) > 0 || len(stmt.GroupBy) > 0 || stmt.Having != nil ||
 		len(stmt.Items) != 1 {
-		return 0, "", none, fmt.Errorf("core: synopsis supports single-aggregate single-table queries")
+		return 0, "", none, "", fmt.Errorf("core: synopsis supports single-aggregate single-table queries")
 	}
 	agg, ok := stmt.Items[0].Expr.(*sqlparse.AggExpr)
 	if !ok || agg.Func != sqlparse.AggCount {
-		return 0, "", none, fmt.Errorf("core: synopsis supports COUNT queries only")
+		return 0, "", none, "", fmt.Errorf("core: synopsis supports COUNT queries only")
 	}
 	table := stmt.From.Name
 	name := stmt.Items[0].Name(0)
@@ -176,20 +195,20 @@ func (e *SynopsisEngine) answer(stmt *sqlparse.SelectStmt) (float64, string, sta
 	if agg.Distinct && agg.Arg != nil && stmt.Where == nil {
 		col, ok := agg.Arg.(*expr.ColRef)
 		if !ok {
-			return 0, "", none, fmt.Errorf("core: COUNT(DISTINCT) needs a bare column")
+			return 0, "", none, "", fmt.Errorf("core: COUNT(DISTINCT) needs a bare column")
 		}
 		hll := e.hlls[synKey(table, col.Name)]
 		if hll == nil {
-			return 0, "", none, fmt.Errorf("core: no HLL for %s.%s", table, col.Name)
+			return 0, "", none, "", fmt.Errorf("core: no HLL for %s.%s", table, col.Name)
 		}
 		est := hll.Estimate()
 		se := hll.StdError() * est
 		iv := stats.Interval{Lo: est - 2*se, Hi: est + 2*se, Confidence: 0.95}
-		return est, name, iv, nil
+		return est, name, iv, synKey(table, col.Name), nil
 	}
 
 	if !agg.Star || stmt.Where == nil {
-		return 0, "", none, fmt.Errorf("core: synopsis COUNT needs WHERE or DISTINCT")
+		return 0, "", none, "", fmt.Errorf("core: synopsis COUNT needs WHERE or DISTINCT")
 	}
 
 	// COUNT(*) WHERE col = literal -> Count-Min.
@@ -203,13 +222,13 @@ func (e *SynopsisEngine) answer(stmt *sqlparse.SelectStmt) (float64, string, sta
 		if okc && okl {
 			cm := e.cms[synKey(table, col.Name)]
 			if cm == nil {
-				return 0, "", none, fmt.Errorf("core: no CMS for %s.%s", table, col.Name)
+				return 0, "", none, "", fmt.Errorf("core: no CMS for %s.%s", table, col.Name)
 			}
 			est := float64(cm.Estimate(lit.Val.GroupKey()))
 			bound := cm.ErrorBound()
 			iv := stats.Interval{Lo: math.Max(est-bound, 0), Hi: est, Confidence: 0.99}
 			// CMS overestimates: the true count lies in [est-εN, est].
-			return est, name, iv, nil
+			return est, name, iv, synKey(table, col.Name), nil
 		}
 	}
 
@@ -218,15 +237,15 @@ func (e *SynopsisEngine) answer(stmt *sqlparse.SelectStmt) (float64, string, sta
 	if ok {
 		h := e.histograms[synKey(table, col)]
 		if h == nil {
-			return 0, "", none, fmt.Errorf("core: no histogram for %s.%s", table, col)
+			return 0, "", none, "", fmt.Errorf("core: no histogram for %s.%s", table, col)
 		}
 		est := h.EstimateRangeCount(lo, hi)
 		// Histogram error is bounded by the straddling buckets' mass.
 		slack := 2 * h.Total() / float64(h.Buckets())
 		iv := stats.Interval{Lo: math.Max(est-slack, 0), Hi: est + slack, Confidence: 0.95}
-		return est, name, iv, nil
+		return est, name, iv, synKey(table, col), nil
 	}
-	return 0, "", none, fmt.Errorf("core: unsupported predicate for synopsis answering")
+	return 0, "", none, "", fmt.Errorf("core: unsupported predicate for synopsis answering")
 }
 
 // rangePredicate recognizes conjunctions of >=/>/<=/< comparisons and

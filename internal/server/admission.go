@@ -87,6 +87,35 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// TryAcquireIdle grants a worker slot only when granting cannot delay
+// serving: the wait queue is empty, a slot is free, and the server is not
+// draining. It never blocks — background lanes (the accuracy auditor)
+// call it in a retry loop, so foreground queries always preempt them
+// simply by existing.
+func (a *Admission) TryAcquireIdle() (release func(), ok bool) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return nil, false
+	}
+	a.inflight.Add(1)
+	a.mu.Unlock()
+	if len(a.queue) > 0 {
+		a.inflight.Done()
+		return nil, false
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return func() {
+			<-a.sem
+			a.inflight.Done()
+		}, true
+	default:
+		a.inflight.Done()
+		return nil, false
+	}
+}
+
 // QueueDepth reports how many queries are waiting for a worker slot.
 func (a *Admission) QueueDepth() int { return len(a.queue) }
 

@@ -40,9 +40,37 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// Key formats a metric key with one label: name{label="value"}.
+// Key formats a metric key with one label: name{label="value"}. The
+// value is escaped per the Prometheus text exposition format.
 func Key(name, label, value string) string {
-	return fmt.Sprintf("%s{%s=%q}", name, label, value)
+	return name + "{" + label + `="` + EscapeLabelValue(value) + `"}`
+}
+
+// EscapeLabelValue escapes a label value for the Prometheus text
+// exposition format: backslash, double quote, and newline get backslash
+// escapes; everything else — including non-ASCII — passes through as raw
+// UTF-8. (Go's %q, used here previously, additionally hex-escapes
+// non-printable and non-ASCII runes, which Prometheus parsers read
+// literally.)
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // Add increments a counter by delta.

@@ -33,14 +33,25 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int64, info map
 		}
 	}
 
-	// Gauges.
-	for _, k := range sortedKeys(gauges) {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", k, k, gauges[k])
+	// Gauges, grouped into families like counters: labeled gauges (e.g.
+	// sample_stale{table="events"}) must share one # TYPE line per family.
+	gaugeFamilies := make(map[string][]string)
+	for k, v := range gauges {
+		fam, _ := splitKey(k)
+		gaugeFamilies[fam] = append(gaugeFamilies[fam], fmt.Sprintf("%s %d\n", k, v))
+	}
+	for _, fam := range sortedKeys(gaugeFamilies) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
+		series := gaugeFamilies[fam]
+		sort.Strings(series)
+		for _, line := range series {
+			io.WriteString(w, line)
+		}
 	}
 	if len(info) > 0 {
 		var labels []string
 		for _, k := range sortedKeys(info) {
-			labels = append(labels, fmt.Sprintf("%s=%q", k, info[k]))
+			labels = append(labels, k+`="`+EscapeLabelValue(info[k])+`"`)
 		}
 		fmt.Fprintf(w, "# TYPE aqpd_build_info gauge\naqpd_build_info{%s} 1\n", strings.Join(labels, ","))
 	}

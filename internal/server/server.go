@@ -20,6 +20,7 @@ import (
 	"time"
 
 	aqp "repro"
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/exec"
 )
@@ -51,6 +52,18 @@ type Config struct {
 	// server's handler tree. Off by default: profiles expose internals,
 	// so production deployments should gate them deliberately.
 	EnablePprof bool
+	// AuditFraction is the fraction of served approximate queries whose
+	// claimed confidence intervals are re-checked against an exact
+	// ground-truth execution in an idle-capacity background lane. 0 (the
+	// default) disables continuous accuracy auditing.
+	AuditFraction float64
+	// AuditQueueCap bounds the audit backlog (default 64); overflow sheds
+	// the oldest pending audit.
+	AuditQueueCap int
+	// AuditWindow sizes the rolling coverage/error windows (default 256).
+	AuditWindow int
+	// AuditSeed drives the deterministic audit-sampling decisions.
+	AuditSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +100,7 @@ type Server struct {
 	cfg   Config
 	adm   *Admission
 	met   *Metrics
+	aud   *audit.Auditor
 	mux   *http.ServeMux
 	start time.Time
 }
@@ -102,7 +116,21 @@ func New(db *aqp.DB, cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	if cfg.AuditFraction > 0 {
+		// Ground truth runs through the exact path of the same DB; the
+		// admission controller is the idle gate, so audits only borrow
+		// worker slots the foreground is not using.
+		s.aud = audit.New(db, s.adm, audit.Config{
+			Fraction: cfg.AuditFraction,
+			QueueCap: cfg.AuditQueueCap,
+			Window:   cfg.AuditWindow,
+			Seed:     cfg.AuditSeed,
+			Logger:   cfg.Logger,
+			OnEvent:  s.onAuditEvent,
+		})
+	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/audit", s.handleAudit)
 	s.mux.HandleFunc("/tables", s.handleTables)
 	s.mux.HandleFunc("/samples/build", s.handleBuildSamples)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -127,10 +155,61 @@ func (s *Server) Metrics() *Metrics { return s.met }
 // gauge reporting).
 func (s *Server) Admission() *Admission { return s.adm }
 
+// Auditor returns the accuracy auditor, or nil when auditing is
+// disabled (exposed for tests and CLI drains).
+func (s *Server) Auditor() *audit.Auditor { return s.aud }
+
 // Shutdown stops admitting queries and waits for in-flight ones to
-// drain, or until ctx expires.
+// drain, or until ctx expires. Pending audits are abandoned — they are
+// best-effort telemetry, not client work.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.adm.Drain(ctx)
+	err := s.adm.Drain(ctx)
+	if s.aud != nil {
+		s.aud.Close()
+	}
+	return err
+}
+
+// onAuditEvent folds audit-lane outcomes into the metrics registry.
+func (s *Server) onAuditEvent(ev audit.Event) {
+	switch ev.Kind {
+	case audit.EventAudited:
+		s.met.Inc(Key("audits_total", "technique", ev.Technique))
+		s.met.Observe(Key("audit_lag_ms", "technique", ev.Technique), ev.LagMS)
+	case audit.EventCovered:
+		s.met.Inc(Key("audit_covered_total", "technique", ev.Technique))
+		s.met.ObserveWith(Key("audit_rel_error", "technique", ev.Technique),
+			ev.RelError, errorWidthBuckets)
+	case audit.EventMissed:
+		s.met.Inc(Key("audit_missed_total", "technique", ev.Technique))
+		s.met.ObserveWith(Key("audit_rel_error", "technique", ev.Technique),
+			ev.RelError, errorWidthBuckets)
+	case audit.EventViolation:
+		s.met.Inc(Key("coverage_violation_total", "technique", ev.Technique))
+	case audit.EventDropped:
+		s.met.Inc("audit_dropped_total")
+	case audit.EventDeduped:
+		s.met.Inc("audit_deduped_total")
+	case audit.EventError:
+		s.met.Inc("audit_errors_total")
+	case audit.EventUnmatched:
+		s.met.Inc(Key("audit_unmatched_total", "technique", ev.Technique))
+	case audit.EventStale:
+		s.met.Inc(Key("sample_stale_detected_total", "table", ev.Table))
+	}
+}
+
+// handleAudit serves the rolling accuracy-audit report.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.aud == nil {
+		writeJSON(w, http.StatusOK, audit.Report{Enabled: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.aud.Report())
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -275,6 +354,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.cfg.Logger.Debug("query", logAttrs...)
 	}
 
+	// Hand the served answer to the accuracy auditor. Offer never blocks
+	// and never mutates res; whether this answer gets a ground-truth
+	// re-execution was decided by a coin fixed before the estimate
+	// existed, so the audit stream is an unbiased sample of production.
+	s.aud.Offer(res, req.SQL)
+
 	resp := encodeResult(res)
 	if prof != nil {
 		resp.Trace = prof.Profile()
@@ -410,6 +495,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"queue_capacity":    int64(s.adm.QueueCap()),
 		"max_query_workers": int64(s.cfg.MaxQueryWorkers),
 		"uptime_seconds":    int64(time.Since(s.start).Seconds()),
+	}
+	if s.aud != nil {
+		rep := s.aud.Report()
+		gauges["audit_backlog"] = int64(rep.Backlog)
+		for _, t := range rep.Tables {
+			v := int64(0)
+			if t.Stale {
+				v = 1
+			}
+			gauges[Key("sample_stale", "table", t.Table)] = v
+		}
 	}
 	if r.URL.Query().Get("format") == "prom" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWilsonIntervalBasics(t *testing.T) {
+	iv := WilsonInterval(95, 100, 0.95)
+	if !(iv.Lo < 0.95 && 0.95 < iv.Hi) {
+		t.Fatalf("Wilson(95/100) = [%f, %f], want to contain 0.95", iv.Lo, iv.Hi)
+	}
+	// Known reference: Wilson 95% for 95/100 is roughly [0.887, 0.979].
+	if math.Abs(iv.Lo-0.8872) > 0.005 || math.Abs(iv.Hi-0.9785) > 0.005 {
+		t.Fatalf("Wilson(95/100) = [%f, %f], want ~[0.887, 0.979]", iv.Lo, iv.Hi)
+	}
+	// Extremes stay inside [0, 1] and are non-degenerate.
+	if iv = WilsonInterval(0, 10, 0.95); iv.Lo > 1e-12 || iv.Hi <= 0 || iv.Hi >= 1 {
+		t.Fatalf("Wilson(0/10) = [%f, %f]", iv.Lo, iv.Hi)
+	}
+	if iv = WilsonInterval(10, 10, 0.95); iv.Hi < 1-1e-12 || iv.Lo <= 0 {
+		t.Fatalf("Wilson(10/10) = [%f, %f]", iv.Lo, iv.Hi)
+	}
+	if iv = WilsonInterval(0, 0, 0.95); iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatalf("Wilson(0/0) = [%f, %f], want [0, 1]", iv.Lo, iv.Hi)
+	}
+}
+
+// The Wilson interval's own coverage: across seeded binomial draws the
+// interval should contain the true proportion about as often as promised.
+func TestWilsonIntervalCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const trials, n, p = 400, 60, 0.93
+	covered := 0
+	for i := 0; i < trials; i++ {
+		succ := 0
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				succ++
+			}
+		}
+		if iv := WilsonInterval(succ, n, 0.95); iv.Lo <= p && p <= iv.Hi {
+			covered++
+		}
+	}
+	if frac := float64(covered) / trials; frac < 0.89 {
+		t.Fatalf("Wilson coverage %f, want >= 0.89", frac)
+	}
+}
+
+func TestRollingCoverageWindow(t *testing.T) {
+	r := NewRollingCoverage(4)
+	for _, b := range []bool{true, true, false, true} {
+		r.Push(b)
+	}
+	if r.N() != 4 || r.Hits() != 3 {
+		t.Fatalf("N=%d hits=%d, want 4/3", r.N(), r.Hits())
+	}
+	// Two more pushes evict the two oldest (true, true).
+	r.Push(false)
+	r.Push(false)
+	if r.N() != 4 || r.Hits() != 1 {
+		t.Fatalf("after eviction N=%d hits=%d, want 4/1", r.N(), r.Hits())
+	}
+	if got := r.Rate(); got != 0.25 {
+		t.Fatalf("rate %f, want 0.25", got)
+	}
+	iv := r.Wilson(0.95)
+	if !(iv.Lo <= 0.25 && 0.25 <= iv.Hi) {
+		t.Fatalf("Wilson [%f, %f] excludes the point estimate", iv.Lo, iv.Hi)
+	}
+}
+
+func TestRollingQuantiles(t *testing.T) {
+	r := NewRollingQuantiles(8)
+	for _, v := range []float64{5, 1, 4, 2, 3} {
+		r.Push(v)
+	}
+	if got := r.Quantile(0.5); got != 3 {
+		t.Fatalf("median %f, want 3", got)
+	}
+	if got := r.Max(); got != 5 {
+		t.Fatalf("max %f, want 5", got)
+	}
+	// Fill past capacity: {5,1,4} evicted, window = {2,3,10,11,12,13,14,15}.
+	for _, v := range []float64{10, 11, 12, 13, 14, 15} {
+		r.Push(v)
+	}
+	if got := r.Quantile(0); got != 2 {
+		t.Fatalf("min %f, want 2 after eviction", got)
+	}
+	if got := r.Quantile(1); got != 15 {
+		t.Fatalf("p100 %f, want 15", got)
+	}
+	if got := r.N(); got != 8 {
+		t.Fatalf("N %d, want 8", got)
+	}
+}
