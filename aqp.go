@@ -117,6 +117,20 @@ var (
 	DefaultErrorSpec = core.DefaultErrorSpec
 )
 
+// Typed error taxonomy re-exports: every error escaping an engine is
+// classified against these sentinels (test with errors.Is), so callers
+// can map failure classes without importing internal packages.
+var (
+	// ErrTimeout classifies deadline expiry.
+	ErrTimeout = core.ErrTimeout
+	// ErrOverloaded classifies admission-control shedding.
+	ErrOverloaded = core.ErrOverloaded
+	// ErrEngineUnavailable classifies an engine that cannot currently serve.
+	ErrEngineUnavailable = core.ErrEngineUnavailable
+	// ErrQueryPanic classifies a panic recovered while executing one query.
+	ErrQueryPanic = core.ErrQueryPanic
+)
+
 // Option configures a DB.
 type Option func(*DB)
 
@@ -414,6 +428,24 @@ func (db *DB) QueryOLAContext(ctx context.Context, sql string, spec ErrorSpec) (
 	}
 	return db.runStatement(ctx, stmt, func(ctx context.Context) (*Result, error) {
 		return db.ola.ExecuteContext(ctx, stmt, spec)
+	})
+}
+
+// QuerySynopsis answers the query from precomputed synopses alone
+// (histogram/HLL/CMS) in O(synopsis) time; queries outside the narrow
+// synopsis-answerable class fail rather than fall back.
+func (db *DB) QuerySynopsis(sql string, spec ErrorSpec) (*Result, error) {
+	return db.QuerySynopsisContext(context.Background(), sql, spec)
+}
+
+// QuerySynopsisContext is QuerySynopsis under a context.
+func (db *DB) QuerySynopsisContext(ctx context.Context, sql string, spec ErrorSpec) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.runStatement(ctx, stmt, func(ctx context.Context) (*Result, error) {
+		return db.synopsis.ExecuteContext(ctx, stmt, spec)
 	})
 }
 

@@ -8,16 +8,23 @@
 //	aqpbench -exp E4 -json        # also write results/bench_E4.json
 //	aqpbench -profile             # print an EXPLAIN ANALYZE span profile
 //	aqpbench -audit               # smoke-test the accuracy-audit lane
+//	aqpbench -chaos               # chaos gate: inject faults, assert survival
 //	aqpbench -list
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"time"
 
@@ -26,6 +33,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -55,6 +64,7 @@ func main() {
 		outDir  = flag.String("out", "results", "directory for -json output")
 		profile = flag.Bool("profile", false, "print an EXPLAIN ANALYZE span profile of a canonical query and exit")
 		auditSm = flag.Bool("audit", false, "run the accuracy-audit smoke: serve sampled queries, drain the audit lane, fail on backlog or errors")
+		chaosSm = flag.Bool("chaos", false, "run the chaos gate: serve queries under injected panics/errors, fail on process death, un-flagged degraded responses, invalid CIs, or baseline drift")
 	)
 	flag.Parse()
 
@@ -74,6 +84,13 @@ func main() {
 	if *auditSm {
 		if err := runAuditSmoke(*rows, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "aqpbench: audit smoke: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosSm {
+		if err := runChaosGate(*rows, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: chaos gate: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -191,6 +208,221 @@ func runAuditSmoke(rows int, seed int64) error {
 	if rep.Audited != queries {
 		return fmt.Errorf("audited %d of %d served queries", rep.Audited, queries)
 	}
+	return nil
+}
+
+// chaosTechniques pairs each forced mode with the techniques a healthy,
+// un-degraded answer may legitimately report. The sampling engines fall
+// back to exact on their own (tiny tables, no certified sample), which
+// is not degradation; any other substitution must carry degraded:true.
+var chaosTechniques = map[string][]string{
+	"exact":   {"exact"},
+	"online":  {"online-sampling", "exact"},
+	"offline": {"offline-samples", "exact"},
+	"ola":     {"online-aggregation", "exact"},
+}
+
+// runChaosGate is the resilience release gate: record baseline answers
+// with injection off, arm a wildcard panic schedule and hammer the
+// server handler across every mode, then disarm and assert the baseline
+// is bit-identical. During chaos the process must survive every
+// injected panic, each response must be either a typed error status or
+// a 200 whose substitutions are flagged degraded:true, every reported
+// CI must be well-formed, and per-query latency must stay bounded.
+func runChaosGate(rows int, seed int64) error {
+	const (
+		chaosRounds   = 6
+		perQueryBound = 30 * time.Second
+	)
+	if rows < 4096 {
+		rows = 4096
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// build constructs a fresh, fully-provisioned deterministic server:
+	// offline samples and synopses exist so every ladder rung is live.
+	// A fresh instance per phase means chaos-phase breaker state and
+	// sample-store mutations cannot leak into the final baseline run.
+	build := func() (*server.Server, error) {
+		ev, err := workload.GenerateEvents(workload.EventsConfig{
+			Seed: seed, Rows: rows, NumGroups: 16, Skew: 0.8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		db := aqp.Open(ev.Catalog,
+			aqp.WithOnlineConfig(core.OnlineConfig{DefaultRate: 0.2, MinTableRows: 1, Seed: seed}),
+			aqp.WithOfflineConfig(core.OfflineConfig{Seed: seed}),
+			aqp.WithOLAConfig(core.OLAConfig{Seed: seed}),
+		)
+		if err := db.BuildOfflineSamples("events", [][]string{{"ev_group"}}); err != nil {
+			return nil, fmt.Errorf("build offline samples: %w", err)
+		}
+		if err := db.BuildSynopsis("events", "ev_value"); err != nil {
+			return nil, fmt.Errorf("build synopsis: %w", err)
+		}
+		return server.New(db, server.Config{
+			Workers:          4,
+			QueueCap:         32,
+			DefaultTimeout:   10 * time.Second,
+			DegradeBudget:    2 * time.Second,
+			BreakerThreshold: 8,
+			Logger:           logger,
+		}), nil
+	}
+
+	queries := []string{
+		fmt.Sprintf("SELECT SUM(ev_value) FROM events WHERE ev_ts >= 0 AND ev_ts < %d", rows/2),
+		"SELECT ev_group, AVG(ev_value), COUNT(*) FROM events GROUP BY ev_group ORDER BY ev_group",
+		"SELECT COUNT(*) FROM events WHERE ev_value >= 0",
+	}
+	modes := []string{"auto", "exact", "online", "offline", "ola"}
+
+	post := func(h http.Handler, req server.QueryRequest) (int, server.QueryResponse, []byte, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, server.QueryResponse{}, nil, err
+		}
+		r := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+		r.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		var qr server.QueryResponse
+		if w.Code == http.StatusOK {
+			if err := json.Unmarshal(w.Body.Bytes(), &qr); err != nil {
+				return w.Code, qr, w.Body.Bytes(), fmt.Errorf("decode 200 body: %w", err)
+			}
+		}
+		return w.Code, qr, w.Body.Bytes(), nil
+	}
+
+	// baseline runs every (mode, query) pair once with injection off and
+	// returns the responses with timing-dependent fields zeroed, so two
+	// baseline passes can be compared bit-for-bit.
+	baseline := func(h http.Handler) ([]server.QueryResponse, error) {
+		var out []server.QueryResponse
+		for _, mode := range modes {
+			for _, sql := range queries {
+				code, qr, raw, err := post(h, server.QueryRequest{
+					SQL: sql, Mode: mode, RelError: 0.5, Confidence: 0.95,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if code != http.StatusOK {
+					return nil, fmt.Errorf("baseline %s %q: status %d: %s", mode, sql, code, raw)
+				}
+				if qr.Degraded {
+					return nil, fmt.Errorf("baseline %s %q: degraded with injection off: %s", mode, sql, raw)
+				}
+				qr.LatencyMS = 0
+				qr.Messages = nil
+				qr.Trace = nil
+				out = append(out, qr)
+			}
+		}
+		return out, nil
+	}
+
+	srv, err := build()
+	if err != nil {
+		return err
+	}
+	h := srv.Handler()
+	base, err := baseline(h)
+	if err != nil {
+		return fmt.Errorf("pre-chaos baseline: %w", err)
+	}
+
+	fault.Install(fault.Schedule{Seed: seed, Rules: []fault.Rule{
+		{Point: "*", Kind: fault.KindPanic, P: 0.25},
+	}})
+	defer fault.Uninstall()
+
+	allowed := map[int]bool{200: true, 400: true, 408: true, 429: true, 500: true, 503: true, 504: true}
+	var served, degraded, errored int
+	for round := 0; round < chaosRounds; round++ {
+		for _, mode := range modes {
+			for _, sql := range queries {
+				start := time.Now()
+				code, qr, raw, err := post(h, server.QueryRequest{
+					SQL: sql, Mode: mode, RelError: 0.5, Confidence: 0.95,
+				})
+				if err != nil {
+					return fmt.Errorf("chaos %s %q: %w", mode, sql, err)
+				}
+				if d := time.Since(start); d > perQueryBound {
+					return fmt.Errorf("chaos %s %q: latency %s exceeds %s bound", mode, sql, d, perQueryBound)
+				}
+				if !allowed[code] {
+					return fmt.Errorf("chaos %s %q: unexpected status %d: %s", mode, sql, code, raw)
+				}
+				if code != http.StatusOK {
+					errored++
+					continue
+				}
+				served++
+				if qr.DegradedFrom != "" && !qr.Degraded {
+					return fmt.Errorf("chaos %s %q: un-flagged degraded response (degraded_from=%q): %s",
+						mode, sql, qr.DegradedFrom, raw)
+				}
+				if want := chaosTechniques[mode]; want != nil && !qr.Degraded {
+					ok := false
+					for _, t := range want {
+						if qr.Technique == t {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						return fmt.Errorf("chaos %s %q: technique %s substituted without degraded flag: %s",
+							mode, sql, qr.Technique, raw)
+					}
+				}
+				if qr.Degraded {
+					degraded++
+				}
+				for _, row := range qr.Items {
+					for _, it := range row {
+						if !it.HasCI {
+							continue
+						}
+						// NaN fails both comparisons, so this also
+						// rejects estimates whose interval never folded.
+						if !(it.CILo <= it.CIHi) || !(it.Confidence > 0 && it.Confidence <= 1) {
+							return fmt.Errorf("chaos %s %q: invalid CI [%g, %g] at confidence %g: %s",
+								mode, sql, it.CILo, it.CIHi, it.Confidence, raw)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	var hits, fires int64
+	for _, st := range fault.Status() {
+		hits += st.Hits
+		fires += st.Fires
+	}
+	if fires == 0 {
+		return fmt.Errorf("no faults fired across %d chaos queries (%d point hits): injection not wired", served+errored, hits)
+	}
+	fault.Uninstall()
+
+	srv2, err := build()
+	if err != nil {
+		return err
+	}
+	after, err := baseline(srv2.Handler())
+	if err != nil {
+		return fmt.Errorf("post-chaos baseline: %w", err)
+	}
+	if !reflect.DeepEqual(base, after) {
+		return fmt.Errorf("baseline drift: responses with injection off differ before and after the chaos phase")
+	}
+
+	fmt.Printf("chaos gate: %d queries under injection (%d ok, %d degraded, %d typed errors); %d faults fired across %d points; baseline bit-identical with injection off\n",
+		served+errored, served, degraded, errored, fires, len(fault.Status()))
 	return nil
 }
 

@@ -8,8 +8,9 @@
 //	aqpd -load orders=orders.csv          # serve CSV tables (repeatable)
 //
 // Endpoints: POST /query, GET /tables, POST /samples/build,
-// GET /metrics, GET /audit, GET /healthz. See README.md for a curl
-// quickstart.
+// GET /metrics, GET /audit, GET /faults, GET /healthz. See README.md for
+// a curl quickstart. -chaos-config arms deterministic fault injection
+// for resilience drills.
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	aqp "repro"
+	"repro/internal/fault"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -60,10 +62,28 @@ func main() {
 		auditFrac  = flag.Float64("audit-fraction", 0, "fraction of served approximate queries re-checked exactly in the background (0 disables accuracy auditing)")
 		auditQueue = flag.Int("audit-queue", 64, "max pending audits before the oldest is shed")
 		auditWin   = flag.Int("audit-window", 256, "rolling window of the per-technique coverage estimators")
+		chaosCfg   = flag.String("chaos-config", "", "arm fault injection: comma-separated point:kind:prob[:latency] rules (kind: error|panic|latency; point may be *); GET /faults lists points")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed of the deterministic fault-injection decisions")
+		degradeBgt = flag.Duration("degrade-budget", 500*time.Millisecond, "per-rung time budget of the graceful-degradation ladder (negative disables)")
 		loads      loadFlags
 	)
 	flag.Var(&loads, "load", "load a CSV table as name=path.csv (repeatable; types inferred)")
 	flag.Parse()
+
+	if *chaosCfg != "" {
+		rules, err := fault.ParseRules(*chaosCfg)
+		if err != nil {
+			log.Fatalf("aqpd: -chaos-config: %v", err)
+		}
+		fault.Install(fault.Schedule{Seed: *chaosSeed, Rules: rules})
+		var armed []string
+		for _, st := range fault.Status() {
+			if st.Rule != "" {
+				armed = append(armed, st.Rule)
+			}
+		}
+		log.Printf("aqpd: CHAOS INJECTION ARMED (seed %d): %s", *chaosSeed, strings.Join(armed, "  "))
+	}
 
 	db, err := buildDB(*gen, *genSkew, *seed, loads)
 	if err != nil {
@@ -103,6 +123,7 @@ func main() {
 		AuditQueueCap:   *auditQueue,
 		AuditWindow:     *auditWin,
 		AuditSeed:       *seed,
+		DegradeBudget:   *degradeBgt,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

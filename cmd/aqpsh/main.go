@@ -19,6 +19,9 @@
 //	\advise <sql>               show which engine the advisor would pick
 //	\matrix <sql> [; <sql>...]  measure the no-silver-bullet matrix on probes
 //	\audit                      print the continuous accuracy-audit report
+//	\faults                     list fault-injection points with hit/fire counts
+//	\faults arm <rules> [seed]  arm chaos injection (point:kind:prob[:latency],...)
+//	\faults off                 disarm chaos injection
 //	\quit
 //
 // Plain SQL runs through the advisor; append `WITH ERROR 5% CONFIDENCE
@@ -38,6 +41,7 @@ import (
 
 	aqp "repro"
 	"repro/internal/audit"
+	"repro/internal/fault"
 	"repro/internal/workload"
 )
 
@@ -258,6 +262,39 @@ func meta(sh *shell, line string) bool {
 			return false
 		}
 		fmt.Printf("built synopses for %s.%s\n", fields[1], fields[2])
+	case "\\faults":
+		switch {
+		case len(fields) >= 3 && fields[1] == "arm":
+			rules, err := fault.ParseRules(fields[2])
+			if err != nil {
+				fmt.Println("error:", err)
+				return false
+			}
+			var seed int64 = 1
+			if len(fields) >= 4 {
+				if seed, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+					fmt.Println("error: bad seed:", fields[3])
+					return false
+				}
+			}
+			fault.Install(fault.Schedule{Seed: seed, Rules: rules})
+			fmt.Printf("chaos armed (seed %d)\n", seed)
+		case len(fields) >= 2 && fields[1] == "off":
+			fault.Uninstall()
+			fmt.Println("chaos disarmed")
+		case len(fields) >= 2:
+			fmt.Println("usage: \\faults [arm <point:kind:prob[:latency],...> [seed] | off]")
+			return false
+		}
+		fmt.Printf("injection %s\n", map[bool]string{true: "ARMED", false: "disarmed"}[fault.Active()])
+		fmt.Printf("%-24s %8s %8s  %s\n", "POINT", "HITS", "FIRES", "RULE")
+		for _, st := range fault.Status() {
+			rule := st.Rule
+			if rule == "" {
+				rule = "-"
+			}
+			fmt.Printf("%-24s %8d %8d  %s\n", st.Name, st.Hits, st.Fires, rule)
+		}
 	default:
 		fmt.Println("unknown command:", cmd)
 	}

@@ -29,10 +29,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
+
+// injectGroundTruth fires at each background ground-truth re-execution.
+var injectGroundTruth = fault.NewPoint("audit.groundtruth", "auditor ground-truth re-execution")
 
 // Executor re-executes a query exactly; *aqp.DB satisfies it.
 type Executor interface {
@@ -58,6 +62,7 @@ const (
 	EventStale     = "stale"     // misses correlated with appended rows
 	EventError     = "error"     // ground-truth execution failed
 	EventUnmatched = "unmatched" // group rows differed between claim and truth
+	EventPanic     = "panic"     // a panic in the audit lane was contained
 )
 
 // Event is one observable audit outcome, for wiring into a metrics
@@ -191,7 +196,7 @@ type Auditor struct {
 
 	offered, sampled, deduped, dropped int64
 	audited, errors, unmatched         int64
-	violations                         int64
+	violations, panics                 int64
 
 	lastTraces []string
 
@@ -272,6 +277,13 @@ func (a *Auditor) Offer(res *core.Result, sql string) {
 	if a == nil || a.cfg.Fraction <= 0 || res == nil {
 		return
 	}
+	// Offer runs on the serving path: a panic here (parse, hashing,
+	// bookkeeping) must cost the audit opportunity, not the response.
+	defer func() {
+		if r := recover(); r != nil {
+			a.notePanic("offer", string(res.Technique), fault.AsError(r))
+		}
+	}()
 	if res.Guarantee == core.GuaranteeExact || !hasCI(res) {
 		return
 	}
@@ -409,25 +421,62 @@ func (a *Auditor) worker() {
 				return
 			}
 		}
-		release, ok := a.waitIdle()
-		if !ok {
-			a.finish(j, nil) // stopping; drop the job without stats
+		if !a.auditOne(j) {
 			return
 		}
-		truth, err := a.groundTruth(j)
-		if release != nil {
-			release()
-		}
-		if err != nil {
-			a.mu.Lock()
-			a.errors++
-			a.busy = false
-			a.mu.Unlock()
-			a.emit(Event{Kind: EventError, Technique: j.technique})
-			continue
-		}
-		a.finish(j, truth)
 	}
+}
+
+// auditOne runs one audit job under panic containment and reports whether
+// the worker should keep running (false only on shutdown). A panic
+// anywhere in the audit path — ground truth, comparison, estimator
+// folding — is converted to a counted, logged event that poisons only
+// this job; aqpd itself never dies for an audit.
+func (a *Auditor) auditOne(j *job) (alive bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.notePanic("worker", j.technique, fault.AsError(r))
+			alive = true
+		}
+	}()
+	release, ok := a.waitIdle()
+	if !ok {
+		a.finish(j, nil) // stopping; drop the job without stats
+		return false
+	}
+	// The idle slot is held only for the ground-truth execution and is
+	// released even if it panics (the deferred recover above fires after).
+	truth, err := func() (*core.Result, error) {
+		defer func() {
+			if release != nil {
+				release()
+			}
+		}()
+		return a.groundTruth(j)
+	}()
+	if err != nil {
+		a.mu.Lock()
+		a.errors++
+		a.busy = false
+		a.mu.Unlock()
+		a.emit(Event{Kind: EventError, Technique: j.technique})
+		return true
+	}
+	a.finish(j, truth)
+	return true
+}
+
+// notePanic counts and reports one contained panic.
+func (a *Auditor) notePanic(where, technique string, err error) {
+	a.mu.Lock()
+	a.panics++
+	a.busy = false
+	a.mu.Unlock()
+	if a.cfg.Logger != nil {
+		a.cfg.Logger.Error("audit: panic contained", "where", where,
+			"technique", technique, "err", err)
+	}
+	a.emit(Event{Kind: EventPanic, Technique: technique})
 }
 
 // pop takes the oldest job and marks the worker busy, so Backlog counts
@@ -465,6 +514,9 @@ func (a *Auditor) waitIdle() (release func(), ok bool) {
 // groundTruth re-executes the canonical SQL exactly under a span-traced
 // context and bounded deadline.
 func (a *Auditor) groundTruth(j *job) (*core.Result, error) {
+	if err := injectGroundTruth.Inject(); err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.Timeout)
 	defer cancel()
 	tr := trace.New("audit " + j.technique)
@@ -494,38 +546,42 @@ func (a *Auditor) finish(j *job, truth *core.Result) {
 	cmp := compare(j, truth)
 
 	var events []Event
-	a.mu.Lock()
-	a.audited++
-	a.unmatched += int64(cmp.unmatched)
-	lag := time.Since(j.servedAt)
-	events = append(events, Event{Kind: EventAudited, Technique: j.technique,
-		LagMS: float64(lag.Microseconds()) / 1e3})
-	if cmp.unmatched > 0 {
-		events = append(events, Event{Kind: EventUnmatched, Technique: j.technique})
-	}
-	for _, it := range cmp.items {
-		key := estKey{technique: j.technique, aggregate: it.aggregate}
-		e := a.est[key]
-		if e == nil {
-			e = &estimator{
-				cov: stats.NewRollingCoverage(a.cfg.Window),
-				rel: stats.NewRollingQuantiles(a.cfg.Window),
+	// The unlock is deferred (not straight-line) so a panic while folding
+	// estimators leaves the mutex released for the containment handler.
+	func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		a.audited++
+		a.unmatched += int64(cmp.unmatched)
+		lag := time.Since(j.servedAt)
+		events = append(events, Event{Kind: EventAudited, Technique: j.technique,
+			LagMS: float64(lag.Microseconds()) / 1e3})
+		if cmp.unmatched > 0 {
+			events = append(events, Event{Kind: EventUnmatched, Technique: j.technique})
+		}
+		for _, it := range cmp.items {
+			key := estKey{technique: j.technique, aggregate: it.aggregate}
+			e := a.est[key]
+			if e == nil {
+				e = &estimator{
+					cov: stats.NewRollingCoverage(a.cfg.Window),
+					rel: stats.NewRollingQuantiles(a.cfg.Window),
+				}
+				a.est[key] = e
 			}
-			a.est[key] = e
+			e.cov.Push(it.covered)
+			e.rel.Push(it.relErr)
+			kind := EventCovered
+			if !it.covered {
+				kind = EventMissed
+			}
+			events = append(events, Event{Kind: kind, Technique: j.technique,
+				Aggregate: it.aggregate, RelError: it.relErr})
+			events = append(events, a.checkBudgetLocked(key, e)...)
 		}
-		e.cov.Push(it.covered)
-		e.rel.Push(it.relErr)
-		kind := EventCovered
-		if !it.covered {
-			kind = EventMissed
-		}
-		events = append(events, Event{Kind: kind, Technique: j.technique,
-			Aggregate: it.aggregate, RelError: it.relErr})
-		events = append(events, a.checkBudgetLocked(key, e)...)
-	}
-	events = append(events, a.recordDriftLocked(j, truth, cmp)...)
-	a.busy = false
-	a.mu.Unlock()
+		events = append(events, a.recordDriftLocked(j, truth, cmp)...)
+		a.busy = false
+	}()
 
 	for _, ev := range events {
 		a.emit(ev)

@@ -52,6 +52,7 @@ type Report struct {
 	Errors     int64 `json:"errors"`
 	Unmatched  int64 `json:"unmatched_groups"`
 	Violations int64 `json:"violations"`
+	Panics     int64 `json:"panics"`
 	Backlog    int   `json:"backlog"`
 
 	Techniques []TechniqueCoverage `json:"techniques"`
@@ -77,6 +78,7 @@ func (a *Auditor) Report() Report {
 		Errors:     a.errors,
 		Unmatched:  a.unmatched,
 		Violations: a.violations,
+		Panics:     a.panics,
 		Backlog:    len(a.queue),
 	}
 	if a.busy {
@@ -137,8 +139,9 @@ func (r Report) String() string {
 		r.Fraction, r.Window, r.TargetLo, r.TargetHi)
 	fmt.Fprintf(&b, "flow: offered %d  sampled %d  deduped %d  dropped %d  audited %d  errors %d  backlog %d\n",
 		r.Offered, r.Sampled, r.Deduped, r.Dropped, r.Audited, r.Errors, r.Backlog)
-	if r.Unmatched > 0 || r.Violations > 0 {
-		fmt.Fprintf(&b, "alerts: unmatched groups %d  budget violations %d\n", r.Unmatched, r.Violations)
+	if r.Unmatched > 0 || r.Violations > 0 || r.Panics > 0 {
+		fmt.Fprintf(&b, "alerts: unmatched groups %d  budget violations %d  contained panics %d\n",
+			r.Unmatched, r.Violations, r.Panics)
 	}
 	if len(r.Techniques) == 0 {
 		b.WriteString("no audited queries yet\n")

@@ -126,6 +126,11 @@ type Diagnostics struct {
 	// cancellation and the result is the best estimate accumulated so
 	// far (online aggregation's graceful degradation).
 	Partial bool
+	// Degraded reports that this result is not what the caller asked for
+	// but the best available substitute: a ladder fallback to a cheaper
+	// technique, or a partial estimate kept after a mid-query fault. The
+	// CI still describes exactly the estimate returned.
+	Degraded bool
 	// Workers is the resolved morsel-parallel worker count the execution
 	// ran with (1 = serial).
 	Workers int

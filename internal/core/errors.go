@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// Typed error taxonomy. Every error that escapes an engine is classified
+// into (at most) one of these sentinels via %w wrapping, so the server
+// can map failure classes to HTTP statuses (504/429/503/500) and the
+// degradation ladder can decide which failures are worth falling back
+// from. Parse and semantic errors stay unclassified: they are the
+// caller's fault and no other engine would fare better.
+var (
+	// ErrTimeout classifies deadline expiry (maps to 504).
+	ErrTimeout = errors.New("query deadline exceeded")
+	// ErrOverloaded classifies admission-control shedding (maps to 429).
+	ErrOverloaded = errors.New("service overloaded")
+	// ErrEngineUnavailable classifies an engine that cannot currently
+	// serve — circuit open or an injected engine fault (maps to 503).
+	ErrEngineUnavailable = errors.New("engine unavailable")
+	// ErrQueryPanic classifies a panic recovered while executing one
+	// query; the query is poisoned, the process is not (maps to 500).
+	ErrQueryPanic = errors.New("query panicked")
+)
+
+// Classify wraps err with its taxonomy sentinel. Already-classified
+// errors pass through untouched, so wrapping layers can call it freely.
+func Classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrEngineUnavailable) || errors.Is(err, ErrQueryPanic) {
+		return err
+	}
+	switch {
+	case errors.Is(err, fault.ErrPanic):
+		return fmt.Errorf("%w: %w", ErrQueryPanic, err)
+	case fault.Injected(err):
+		return fmt.Errorf("%w: %w", ErrEngineUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
+}
+
+// contain is the per-engine containment guard: deferred at every engine
+// entry point (with named returns) it converts a panic in the engine body
+// into an ErrQueryPanic-classified error and classifies whatever error is
+// on its way out. The panic poisons only this query.
+func contain(errp *error) {
+	if r := recover(); r != nil {
+		*errp = fault.AsError(r)
+	}
+	*errp = Classify(*errp)
+}

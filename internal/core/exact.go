@@ -5,11 +5,15 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/plan"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
+
+// injectExact fires at exact-engine entry.
+var injectExact = fault.NewPoint("core.exact", "exact engine entry")
 
 // ExactEngine executes queries exactly; it is the reference every
 // approximate engine is measured against.
@@ -36,7 +40,11 @@ func (e *ExactEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Resul
 
 // ExecuteContext is Execute under a context: scans observe cancellation
 // and deadlines, aborting with ctx.Err().
-func (e *ExactEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+func (e *ExactEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (_ *Result, err error) {
+	defer contain(&err)
+	if err := injectExact.Inject(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	esp, ctx := trace.StartSpan(ctx, "engine exact")
 	defer esp.End()
@@ -71,7 +79,8 @@ func ExecuteAsWritten(cat *storage.Catalog, stmt *sqlparse.SelectStmt, spec Erro
 }
 
 // ExecuteAsWrittenContext is ExecuteAsWritten under a context.
-func ExecuteAsWrittenContext(ctx context.Context, cat *storage.Catalog, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+func ExecuteAsWrittenContext(ctx context.Context, cat *storage.Catalog, stmt *sqlparse.SelectStmt, spec ErrorSpec) (_ *Result, err error) {
+	defer contain(&err)
 	start := time.Now()
 	esp, ctx := trace.StartSpan(ctx, "engine as-written")
 	defer esp.End()

@@ -11,11 +11,19 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/plan"
 	"repro/internal/sample"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/trace"
+)
+
+// Offline-engine injection points: engine entry and the sample rebuild
+// path (the transient-failure seam the retry/backoff guards).
+var (
+	injectOffline        = fault.NewPoint("core.offline", "offline-samples engine entry")
+	injectOfflineRebuild = fault.NewPoint("core.offline.rebuild", "offline sample store rebuild")
 )
 
 // StalePolicy selects the offline engine's behavior when the base table
@@ -53,6 +61,13 @@ type OfflineConfig struct {
 	// Workers is the morsel-parallel worker count for sample scans; 0
 	// defers to a context override or runtime.GOMAXPROCS.
 	Workers int
+	// RebuildRetries is the total attempt count for inline sample
+	// rebuilds under StaleRebuild; transient failures are retried with
+	// jittered exponential backoff (default 3).
+	RebuildRetries int
+	// RebuildBackoff is the base backoff between rebuild attempts
+	// (default 2ms, doubling per attempt).
+	RebuildBackoff time.Duration
 }
 
 // DefaultOfflineConfig returns caps {64, 256, 1024}, uniform rates
@@ -207,7 +222,7 @@ func (e *OfflineEngine) BuildSamples(table string, qcsList [][]string) error {
 			Name: name, Source: table, Rate: rate, Data: res.Table,
 			Rows: res.SampleRows, BuildVersion: res.BuildVersion,
 			BuildRows: res.SourceRows, BuildCostRows: res.SourceRows,
-			Profile:   make(map[string]float64),
+			Profile: make(map[string]float64),
 		})
 	}
 	e.Maintenance.WallTime += time.Since(start)
@@ -235,6 +250,9 @@ func (e *OfflineEngine) Rebuild(table string) error {
 
 // rebuildLocked is Rebuild with e.mu already held for writing.
 func (e *OfflineEngine) rebuildLocked(table string) error {
+	if err := injectOfflineRebuild.Inject(); err != nil {
+		return err
+	}
 	t, err := e.Catalog.Table(table)
 	if err != nil {
 		return err
@@ -474,7 +492,11 @@ func (e *OfflineEngine) selectSample(stmt *sqlparse.SelectStmt, spec ErrorSpec,
 
 // ExecuteContext is Execute under a context: the sample scan (and any
 // exact fallback) observes cancellation and deadlines.
-func (e *OfflineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+func (e *OfflineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (_ *Result, err error) {
+	defer contain(&err)
+	if err := injectOffline.Inject(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	esp, ctx := trace.StartSpan(ctx, "engine offline")
 	defer esp.End()
@@ -511,9 +533,16 @@ func (e *OfflineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Selec
 		// The maintenance cost the paper highlights, paid inline: refresh
 		// the whole table's ladder, then select again (nothing stale now).
 		selsp.SetAttr("rebuild", "true")
-		if err := e.Rebuild(table); err != nil {
+		// Rebuilds hit storage and can fail transiently; retry with
+		// jittered exponential backoff before giving up on the query.
+		rerr := fault.Retry(ctx, fault.RetryConfig{
+			Tries: e.Config.RebuildRetries,
+			Base:  e.Config.RebuildBackoff,
+			Seed:  e.Config.Seed,
+		}, func() error { return e.Rebuild(table) })
+		if rerr != nil {
 			selsp.End()
-			return nil, err
+			return nil, rerr
 		}
 		best, _ = e.selectSample(stmt, spec, table, qcs, key)
 	}

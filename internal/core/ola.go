@@ -12,11 +12,17 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
+
+// injectOLAChunk fires once per progressive chunk, inside the engine's
+// chunk-containment scope: a fired panic or error costs one chunk, not
+// the estimate accumulated so far.
+var injectOLAChunk = fault.NewPoint("core.ola.chunk", "OLA per-chunk processing")
 
 // OLAConfig tunes the online-aggregation engine.
 type OLAConfig struct {
@@ -138,7 +144,8 @@ func (e *OLAEngine) ExecuteProgressive(stmt *sqlparse.SelectStmt, spec ErrorSpec
 // guarantee — a deadline is a data-independent stopping rule, so unlike
 // spec-triggered early stopping it does not void the CI's coverage.
 func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec,
-	observe func(Progress) bool) (*Result, error) {
+	observe func(Progress) bool) (_ *Result, err error) {
+	defer contain(&err)
 	start := time.Now()
 	esp, ctx := trace.StartSpan(ctx, "engine ola")
 	defer esp.End()
@@ -233,6 +240,7 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 
 	var final *Result
 	deadlineStopped := false
+	var chunkErr error
 	for read < limit {
 		// Always complete at least one chunk so a too-tight deadline still
 		// yields an estimate; after that, the deadline wins between chunks.
@@ -248,8 +256,27 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 		if chunkSp != nil {
 			t0 = time.Now()
 		}
-		if err := processOLAChunk(q, groups, read, chunkEnd, workers); err != nil {
-			return nil, err
+		cerr := func() (cerr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					cerr = fault.AsError(r)
+				}
+			}()
+			if err := injectOLAChunk.Inject(); err != nil {
+				return err
+			}
+			return processOLAChunk(q, groups, read, chunkEnd, workers)
+		}()
+		if cerr != nil {
+			if read == 0 {
+				return nil, cerr
+			}
+			// A mid-stream chunk fault costs only that chunk: groups are
+			// folded only after every shard of a chunk succeeds, so the
+			// accumulated prefix is an intact SRS and its a-posteriori CI
+			// still describes the estimate we return.
+			chunkErr = cerr
+			break
 		}
 		if chunkSp != nil {
 			chunkSp.AddTime(time.Since(t0))
@@ -294,6 +321,12 @@ func (e *OLAEngine) ExecuteProgressiveContext(ctx context.Context, stmt *sqlpars
 		final.Diagnostics.Partial = true
 		final.Diagnostics.Messages = append(final.Diagnostics.Messages, fmt.Sprintf(
 			"ola: deadline/cancellation after %d of %d rows; returning best progressive estimate", read, n))
+	}
+	if chunkErr != nil {
+		final.Diagnostics.Partial = true
+		final.Diagnostics.Degraded = true
+		final.Diagnostics.Messages = append(final.Diagnostics.Messages, fmt.Sprintf(
+			"ola: chunk fault after %d of %d rows (%v); returning best progressive estimate", read, n, chunkErr))
 	}
 	return final, nil
 }
@@ -501,6 +534,13 @@ func processOLAChunk(q *olaQuery, groups map[string]*olaGroup, lo, hi, workers i
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Contain shard panics to this worker: the chunk fails with
+				// a typed error instead of the panic killing the process.
+				defer func() {
+					if r := recover(); r != nil {
+						once.Do(func() { firstErr = fault.AsError(r) })
+					}
+				}()
 				for {
 					s := int(atomic.AddInt64(&next, 1)) - 1
 					if s >= nShards {

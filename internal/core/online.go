@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/plan"
 	"repro/internal/sample"
 	"repro/internal/sketch"
@@ -15,6 +16,9 @@ import (
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
+
+// injectOnline fires at online-engine entry.
+var injectOnline = fault.NewPoint("core.online", "online-sampling engine entry")
 
 // OnlineConfig tunes the query-time sampling engine.
 type OnlineConfig struct {
@@ -193,7 +197,11 @@ func (e *OnlineEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Resu
 
 // ExecuteContext is Execute under a context: the sampled scan (and any
 // exact fallback) observes cancellation and deadlines.
-func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (_ *Result, err error) {
+	defer contain(&err)
+	if err := injectOnline.Inject(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	esp, ctx := trace.StartSpan(ctx, "engine online")
 	defer esp.End()

@@ -8,12 +8,16 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/sketch"
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
+
+// injectSynopsis fires at synopsis-engine entry.
+var injectSynopsis = fault.NewPoint("core.synopsis", "synopsis engine entry")
 
 // SynopsisEngine answers a narrow class of queries from precomputed
 // synopses in O(synopsis) time, independent of table size:
@@ -135,7 +139,11 @@ func (e *SynopsisEngine) Execute(stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Re
 // ExecuteContext is Execute under a context. Synopsis answers are
 // O(synopsis) — no scan to cancel — so the context is only checked once
 // up front.
-func (e *SynopsisEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (*Result, error) {
+func (e *SynopsisEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectStmt, spec ErrorSpec) (_ *Result, err error) {
+	defer contain(&err)
+	if err := injectSynopsis.Inject(); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/plan"
 	"repro/internal/sample"
 	"repro/internal/sqlparse"
@@ -35,6 +36,11 @@ import (
 // smallest multiple of the table's block size that reaches it, keeping
 // morsel boundaries block-aligned and independent of the worker count.
 const minMorselRows = 8192
+
+// injectMorsel fires once per claimed morsel inside the worker's
+// containment scope, so an injected panic exercises the same recovery
+// path a genuine kernel bug would.
+var injectMorsel = fault.NewPoint("exec.morsel", "morsel worker, per claimed morsel")
 
 // workersCtxKey carries a per-request worker-count override in a context.
 type workersCtxKey struct{}
@@ -409,6 +415,14 @@ func (op *morselAggOp) Next() (*Batch, error) {
 			wg.Add(1)
 			go func(wk *morselWorker, wsp *trace.Span) {
 				defer wg.Done()
+				// Contain worker panics: convert to a typed error that fails
+				// only this query and cancels the sibling workers, instead
+				// of killing the process.
+				defer func() {
+					if r := recover(); r != nil {
+						fail(fault.AsError(r))
+					}
+				}()
 				var (
 					busy      time.Duration
 					morsels   int64
@@ -420,6 +434,10 @@ func (op *morselAggOp) Next() (*Batch, error) {
 				for {
 					m := int(atomic.AddInt64(&next, 1)) - 1
 					if m >= nMorsels {
+						break
+					}
+					if err := injectMorsel.Inject(); err != nil {
+						fail(err)
 						break
 					}
 					lo := m * morselRows

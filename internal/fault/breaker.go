@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// BreakerClosed passes all traffic (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects all traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen has granted one probe and awaits its outcome.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// (default 5).
+	Threshold int
+	// Cooldown is how long an open breaker waits before granting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures in
+// a row trip it open; after Cooldown it grants a single half-open probe
+// whose outcome either closes it again or re-opens a fresh cooldown.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // stubbed in tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	trips    int64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow reports whether a request may proceed. While open it returns
+// false until the cooldown elapses, at which point it grants exactly one
+// half-open probe; further calls are rejected until that probe reports
+// through Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is already out
+		return false
+	}
+}
+
+// Record reports a request outcome. It returns true exactly when this
+// outcome trips the breaker open (so the caller can count trips once).
+func (b *Breaker) Record(ok bool) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = BreakerClosed
+		b.failures = 0
+		return false
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: straight back to open, new cooldown.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+		return true
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.failures = 0
+			b.trips++
+			return true
+		}
+	}
+	return false
+}
+
+// State returns the current position, promoting open→half-open if the
+// cooldown has elapsed (matching what Allow would do).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has tripped open.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

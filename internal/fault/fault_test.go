@@ -1,0 +1,310 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestInjectDisabledIsFree: with no schedule installed Inject returns nil
+// and moves no counters.
+func TestInjectDisabledIsFree(t *testing.T) {
+	p := NewPoint("test.disabled", "test point")
+	t.Cleanup(Uninstall)
+	for i := 0; i < 100; i++ {
+		if err := p.Inject(); err != nil {
+			t.Fatalf("disabled Inject returned %v", err)
+		}
+	}
+	for _, st := range Status() {
+		if st.Name == "test.disabled" && (st.Hits != 0 || st.Fires != 0) {
+			t.Fatalf("disabled point counted hits=%d fires=%d", st.Hits, st.Fires)
+		}
+	}
+}
+
+// TestInjectDeterministic: the same schedule replayed over the same hit
+// sequence fires on exactly the same indices.
+func TestInjectDeterministic(t *testing.T) {
+	p := NewPoint("test.det", "")
+	t.Cleanup(Uninstall)
+	sched := Schedule{Seed: 42, Rules: []Rule{{Point: "test.det", Kind: KindError, P: 0.3}}}
+
+	run := func() []int {
+		Install(sched)
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if p.Inject() != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("p=0.3 fired %d/200 times; decision stream looks degenerate", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay fired %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// The marginal rate should be near p.
+	if got := float64(len(a)) / 200; got < 0.15 || got > 0.45 {
+		t.Fatalf("fire rate %.2f far from configured 0.3", got)
+	}
+}
+
+// TestInjectSeedsDiffer: different seeds give different fire sets.
+func TestInjectSeedsDiffer(t *testing.T) {
+	p := NewPoint("test.seeds", "")
+	t.Cleanup(Uninstall)
+	run := func(seed int64) []bool {
+		Install(Schedule{Seed: seed, Rules: []Rule{{Point: "test.seeds", Kind: KindError, P: 0.5}}})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.Inject() != nil
+		}
+		return out
+	}
+	a, b := run(1), run(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 64-hit fire patterns")
+	}
+}
+
+// TestInjectKinds: each kind fires its effect and errors are typed.
+func TestInjectKinds(t *testing.T) {
+	p := NewPoint("test.kinds", "")
+	t.Cleanup(Uninstall)
+
+	Install(Schedule{Rules: []Rule{{Point: "test.kinds", Kind: KindError, P: 1}}})
+	err := p.Inject()
+	if !Injected(err) {
+		t.Fatalf("KindError produced %v, want ErrInjected chain", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != "test.kinds" {
+		t.Fatalf("injected error not a *Error with the point name: %v", err)
+	}
+
+	Install(Schedule{Rules: []Rule{{Point: "test.kinds", Kind: KindPanic, P: 1}}})
+	func() {
+		defer func() {
+			r := recover()
+			pv, ok := r.(*PanicValue)
+			if !ok || pv.Point != "test.kinds" {
+				t.Errorf("KindPanic panicked with %v, want *PanicValue", r)
+			}
+		}()
+		p.Inject()
+		t.Error("KindPanic did not panic")
+	}()
+
+	Install(Schedule{Rules: []Rule{{Point: "test.kinds", Kind: KindLatency, P: 1, Latency: 5 * time.Millisecond}}})
+	start := time.Now()
+	if err := p.Inject(); err != nil {
+		t.Fatalf("KindLatency returned error %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("KindLatency slept %v, want >= 5ms", d)
+	}
+}
+
+// TestWildcardAndPrecedence: "*" matches unlisted points; an exact rule
+// beats the wildcard.
+func TestWildcardAndPrecedence(t *testing.T) {
+	a := NewPoint("test.wild.a", "")
+	b := NewPoint("test.wild.b", "")
+	t.Cleanup(Uninstall)
+	Install(Schedule{Rules: []Rule{
+		{Point: "*", Kind: KindError, P: 1},
+		{Point: "test.wild.b", Kind: KindLatency, P: 1, Latency: time.Microsecond},
+	}})
+	if err := a.Inject(); !Injected(err) {
+		t.Fatalf("wildcard did not arm test.wild.a: %v", err)
+	}
+	if err := b.Inject(); err != nil {
+		t.Fatalf("exact latency rule should win for test.wild.b, got error %v", err)
+	}
+}
+
+// TestMaxFires: the rule stops firing after MaxFires.
+func TestMaxFires(t *testing.T) {
+	p := NewPoint("test.maxfires", "")
+	t.Cleanup(Uninstall)
+	Install(Schedule{Rules: []Rule{{Point: "test.maxfires", Kind: KindError, P: 1, MaxFires: 3}}})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if p.Inject() != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}
+
+// TestAsError: recovered panics become typed errors wrapping ErrPanic and
+// carry a stack; AsError is idempotent.
+func TestAsError(t *testing.T) {
+	err := AsError("boom")
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("AsError result does not wrap ErrPanic: %v", err)
+	}
+	var re *RecoveredError
+	if !errors.As(err, &re) || re.Stack == "" {
+		t.Fatalf("AsError did not capture a stack: %#v", err)
+	}
+	if AsError(err) != err {
+		t.Fatal("AsError re-wrapped an already-converted error")
+	}
+}
+
+// TestParseRules covers the -chaos-config syntax.
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("core.exact:panic:0.1, exec.morsel:latency:0.5:5ms ,*:error:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	if rules[0] != (Rule{Point: "core.exact", Kind: KindPanic, P: 0.1}) {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if rules[1].Latency != 5*time.Millisecond {
+		t.Fatalf("rule 1 latency = %v", rules[1].Latency)
+	}
+	for _, bad := range []string{"", "x", "p:zap:0.5", "p:error:0", "p:error:1.5", "p:error:x", "p:latency:0.5", "p:latency:0.5:zz", "p:error:0.5:extra"} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted bad config", bad)
+		}
+	}
+}
+
+// TestBreakerStateMachine walks closed → open → half-open → closed and
+// the failed-probe path.
+func TestBreakerStateMachine(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Minute})
+	clock := time.Unix(0, 0)
+	b.now = func() time.Time { return clock }
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected")
+		}
+		if b.Record(false) {
+			t.Fatalf("tripped after %d failures, threshold 3", i+1)
+		}
+	}
+	if !b.Record(false) {
+		t.Fatal("third consecutive failure did not trip")
+	}
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("breaker not rejecting while open: state=%v", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+
+	// Cooldown elapses: exactly one probe.
+	clock = clock.Add(time.Minute)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker granted a second probe")
+	}
+	// Probe succeeds: closed, failures reset.
+	b.Record(true)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+
+	// Trip again, then fail the probe: straight back to open.
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	clock = clock.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe denied after second cooldown")
+	}
+	if !b.Record(false) {
+		t.Fatal("failed probe did not count as a trip")
+	}
+	if b.Allow() {
+		t.Fatal("breaker allowed traffic right after a failed probe")
+	}
+	if b.Trips() != 3 {
+		t.Fatalf("trips = %d, want 3", b.Trips())
+	}
+}
+
+// TestBreakerSuccessResetsStreak: interleaved successes keep the breaker
+// closed forever.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Minute})
+	for i := 0; i < 20; i++ {
+		b.Record(false)
+		b.Record(false)
+		b.Record(true)
+	}
+	if b.State() != BreakerClosed || b.Trips() != 0 {
+		t.Fatalf("breaker tripped on non-consecutive failures: state=%v trips=%d", b.State(), b.Trips())
+	}
+}
+
+// TestRetry: transient errors are retried, permanent success propagates,
+// and context errors stop the loop.
+func TestRetry(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{Tries: 4, Base: time.Microsecond}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("retry: err=%v calls=%d, want success on call 3", err, calls)
+	}
+
+	calls = 0
+	sentinel := errors.New("permanent")
+	err = Retry(context.Background(), RetryConfig{Tries: 3, Base: time.Microsecond}, func() error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 3 {
+		t.Fatalf("retry exhaustion: err=%v calls=%d", err, calls)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	calls = 0
+	err = Retry(ctx, RetryConfig{Tries: 5, Base: time.Hour}, func() error {
+		calls++
+		cancel()
+		return errors.New("boom")
+	})
+	if calls != 1 {
+		t.Fatalf("retry kept going after ctx cancel: %d calls", calls)
+	}
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("retry under cancel returned %v, want the attempt's error", err)
+	}
+}

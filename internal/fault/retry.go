@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"context"
+	"time"
+)
+
+// RetryConfig tunes Retry's jittered exponential backoff.
+type RetryConfig struct {
+	// Tries is the total number of attempts (default 3).
+	Tries int
+	// Base is the pre-jitter sleep before the second attempt; it doubles
+	// per further attempt (default 2ms).
+	Base time.Duration
+	// Max caps the pre-jitter sleep (default 250ms).
+	Max time.Duration
+	// Seed makes the jitter sequence deterministic.
+	Seed int64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Tries <= 0 {
+		c.Tries = 3
+	}
+	if c.Base <= 0 {
+		c.Base = 2 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Retry runs fn up to cfg.Tries times, sleeping an exponentially growing,
+// deterministically jittered interval between attempts. Context errors —
+// from fn or from ctx expiring mid-sleep — stop the loop immediately: a
+// caller past its deadline gains nothing from more attempts. The returned
+// error is fn's last, unwrapped chain intact.
+func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
+	cfg = cfg.withDefaults()
+	var err error
+	for attempt := 0; attempt < cfg.Tries; attempt++ {
+		if attempt > 0 {
+			d := cfg.Base << (attempt - 1)
+			if d > cfg.Max {
+				d = cfg.Max
+			}
+			// Jitter in [0.5, 1.5) of the backoff, seeded per attempt so
+			// replays sleep identically.
+			h := mixSeed(cfg.Seed, "retry") + uint64(attempt)*0x9e3779b97f4a7c15
+			h ^= h >> 30
+			h *= 0xbf58476d1ce4e5b9
+			h ^= h >> 27
+			frac := 0.5 + float64(h>>11)/(1<<53)
+			t := time.NewTimer(time.Duration(float64(d) * frac))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return err // last attempt's error, not ctx.Err(): it has the cause
+			case <-t.C:
+			}
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || context.Cause(ctx) != nil {
+			return err
+		}
+	}
+	return err
+}

@@ -3,13 +3,17 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // ErrShed is returned when both the worker pool and the wait queue are
-// full: the request is load-shed rather than queued unboundedly (the
-// HTTP layer maps it to 429).
-var ErrShed = errors.New("server: overloaded, request shed")
+// full: the request is load-shed rather than queued unboundedly. It
+// wraps core.ErrOverloaded, the taxonomy class the HTTP layer maps to
+// 429.
+var ErrShed = fmt.Errorf("server: overloaded, request shed: %w", core.ErrOverloaded)
 
 // ErrDraining is returned to new requests once shutdown has begun.
 var ErrDraining = errors.New("server: draining, not accepting new queries")

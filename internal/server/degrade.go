@@ -1,0 +1,170 @@
+package server
+
+// Graceful degradation: the paper's survey shows every AQP technique
+// fails somewhere (generality, error guarantees, or work saved), so a
+// production service must degrade across techniques rather than fail. On
+// a deadline or engine fault the server walks a ladder of cheaper
+// techniques — OLA partial estimate, certified offline sample, synopsis —
+// and returns the first answer it gets, flagged degraded:true with the
+// substitute's own confidence interval. Each engine sits behind a
+// consecutive-failure circuit breaker so a sick engine is skipped
+// outright instead of being asked to fail again on every request.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fault"
+)
+
+// injectServerQuery fires inside handleQuery, after admission, within the
+// handler's containment scope.
+var injectServerQuery = fault.NewPoint("server.query", "query handler, post-admission")
+
+// degradeLadder is the fallback order after the primary engine fails:
+// cheapest path to an honest estimate first. OLA reads fresh data and
+// owns a partial-result discipline; offline answers from certified
+// samples without touching the base table; synopsis is O(synopsis) and
+// the last resort (narrowest query class).
+var degradeLadder = [...]string{"ola", "offline", "synopsis"}
+
+// modeKey canonicalizes a request mode to its breaker/ladder key.
+func modeKey(mode string) string {
+	if mode == "" {
+		return "auto"
+	}
+	return mode
+}
+
+// newBreakers builds one circuit breaker per engine mode. The map is
+// complete and read-only after construction, so lookups need no lock.
+func newBreakers(cfg Config) map[string]*fault.Breaker {
+	bc := fault.BreakerConfig{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}
+	m := make(map[string]*fault.Breaker)
+	for _, k := range []string{"auto", "exact", "online", "offline", "ola", "synopsis", "as-written"} {
+		m[k] = fault.NewBreaker(bc)
+	}
+	return m
+}
+
+// executeEngine runs one engine behind its circuit breaker: an open
+// breaker short-circuits to ErrEngineUnavailable, outcomes feed the
+// breaker, and a recovered panic is counted per engine.
+func (s *Server) executeEngine(ctx context.Context, mode string, req QueryRequest) (*core.Result, error) {
+	key := modeKey(mode)
+	brk := s.brk[key]
+	if brk != nil && !brk.Allow() {
+		s.met.Inc(Key("breaker_open_total", "engine", key))
+		return nil, fmt.Errorf("%w: circuit breaker open for engine %s", core.ErrEngineUnavailable, key)
+	}
+	req.Mode = mode
+	res, err := s.execute(ctx, req)
+	if errors.Is(err, core.ErrQueryPanic) {
+		s.met.Inc(Key("query_panics_total", "engine", key))
+	}
+	if brk != nil {
+		// Only engine faults (panics, injected faults) count against the
+		// breaker: timeouts and parse errors say nothing about engine
+		// health, and counting them would trip breakers under load.
+		engineFault := err != nil && (errors.Is(err, core.ErrQueryPanic) || fault.Injected(err))
+		if brk.Record(!engineFault) {
+			s.met.Inc(Key("breaker_trips_total", "engine", key))
+			s.cfg.Logger.Warn("circuit breaker tripped", "engine", key, "err", err.Error())
+		}
+	}
+	return res, err
+}
+
+// degradable reports whether the ladder should catch this failure:
+// deadline expiry, a contained panic, or an unavailable engine. Parse
+// and semantic errors are the caller's, cancellation means the client is
+// gone, and overload must shed — degrading any of those would waste
+// capacity exactly when it is scarce.
+func degradable(err error) bool {
+	return errors.Is(err, core.ErrTimeout) ||
+		errors.Is(err, core.ErrQueryPanic) ||
+		errors.Is(err, core.ErrEngineUnavailable)
+}
+
+// executeResilient runs the requested engine and, on a degradable
+// failure, walks the degradation ladder under a fresh per-rung budget
+// carved from the parent (request) context — the primary context is
+// typically already expired when the ladder starts. It returns the
+// result, the mode degraded from ("" if the primary answered), and the
+// primary error if every rung failed too.
+func (s *Server) executeResilient(ctx, parent context.Context, req QueryRequest, workers int) (*core.Result, string, error) {
+	res, err := s.executeEngine(ctx, req.Mode, req)
+	if err == nil {
+		return res, "", nil
+	}
+	primary := modeKey(req.Mode)
+	if req.NoDegrade || s.cfg.DegradeBudget <= 0 || !degradable(err) || parent.Err() != nil {
+		return nil, "", err
+	}
+	for _, rung := range degradeLadder {
+		if rung == primary {
+			continue
+		}
+		rctx, cancel := context.WithTimeout(parent, s.cfg.DegradeBudget)
+		rctx = exec.ContextWithWorkers(rctx, workers)
+		sub, rerr := s.executeEngine(rctx, rung, req)
+		cancel()
+		if rerr != nil {
+			continue
+		}
+		sub.Diagnostics.Degraded = true
+		sub.Diagnostics.Messages = append(sub.Diagnostics.Messages, fmt.Sprintf(
+			"server: %s engine failed (%v); degraded to %s", primary, err, rung))
+		s.met.Inc(Key("queries_degraded_total", "to", rung))
+		s.cfg.Logger.Warn("query degraded", "from", primary, "to", rung, "err", err.Error())
+		return sub, primary, nil
+	}
+	return nil, "", err
+}
+
+// BreakerStatus is one engine breaker's state for GET /faults.
+type BreakerStatus struct {
+	Engine string `json:"engine"`
+	State  string `json:"state"`
+	Trips  int64  `json:"trips"`
+}
+
+// FaultsResponse is the body of GET /faults.
+type FaultsResponse struct {
+	Installed bool                `json:"installed"`
+	Points    []fault.PointStatus `json:"points"`
+	Breakers  []BreakerStatus     `json:"breakers"`
+}
+
+// handleFaults lists the registered fault-injection points (with hit and
+// fire counts) and the per-engine circuit breakers.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := FaultsResponse{Installed: fault.Active(), Points: fault.Status()}
+	for _, k := range []string{"auto", "exact", "online", "offline", "ola", "synopsis", "as-written"} {
+		b := s.brk[k]
+		resp.Breakers = append(resp.Breakers, BreakerStatus{
+			Engine: k, State: b.State().String(), Trips: b.Trips(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// engineTrippedGauges appends engine_tripped gauges (1 = breaker not
+// closed) to the metrics gauge map.
+func (s *Server) engineTrippedGauges(gauges map[string]int64) {
+	for k, b := range s.brk {
+		v := int64(0)
+		if b.State() != fault.BreakerClosed {
+			v = 1
+		}
+		gauges[Key("engine_tripped", "engine", k)] = v
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 )
 
 // Config tunes the service.
@@ -64,6 +65,17 @@ type Config struct {
 	AuditWindow int
 	// AuditSeed drives the deterministic audit-sampling decisions.
 	AuditSeed int64
+	// DegradeBudget is the per-rung time budget of the graceful-
+	// degradation ladder: when the requested engine fails or times out,
+	// each fallback technique gets this long to produce a best-effort
+	// estimate (default 500ms; negative disables degradation).
+	DegradeBudget time.Duration
+	// BreakerThreshold is the consecutive engine-fault count that trips
+	// an engine's circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// granting a half-open probe (default 5s).
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.SlowQuery <= 0 {
 		c.SlowQuery = time.Second
 	}
+	if c.DegradeBudget == 0 {
+		c.DegradeBudget = 500 * time.Millisecond
+	}
 	return c
 }
 
@@ -101,6 +116,7 @@ type Server struct {
 	adm   *Admission
 	met   *Metrics
 	aud   *audit.Auditor
+	brk   map[string]*fault.Breaker // per-engine circuit breakers, read-only map
 	mux   *http.ServeMux
 	start time.Time
 }
@@ -113,6 +129,7 @@ func New(db *aqp.DB, cfg Config) *Server {
 		cfg:   cfg,
 		adm:   NewAdmission(cfg.Workers, cfg.QueueCap),
 		met:   NewMetrics(),
+		brk:   newBreakers(cfg),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
@@ -134,6 +151,7 @@ func New(db *aqp.DB, cfg Config) *Server {
 	s.mux.HandleFunc("/tables", s.handleTables)
 	s.mux.HandleFunc("/samples/build", s.handleBuildSamples)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/faults", s.handleFaults)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -196,6 +214,8 @@ func (s *Server) onAuditEvent(ev audit.Event) {
 		s.met.Inc(Key("audit_unmatched_total", "technique", ev.Technique))
 	case audit.EventStale:
 		s.met.Inc(Key("sample_stale_detected_total", "table", ev.Table))
+	case audit.EventPanic:
+		s.met.Inc("audit_panics_total")
 	}
 }
 
@@ -224,12 +244,45 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// panicWriter tracks whether a response has started, so the handler's
+// containment layer knows if a typed 500 can still be written.
+type panicWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (p *panicWriter) WriteHeader(status int) {
+	p.wrote = true
+	p.ResponseWriter.WriteHeader(status)
+}
+
+func (p *panicWriter) Write(b []byte) (int, error) {
+	p.wrote = true
+	return p.ResponseWriter.Write(b)
+}
+
 // handleQuery admits, bounds, routes, and executes one query.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// Last-resort containment: engines recover their own panics, but a
+	// bug in the handler itself (or an injected server.query panic) must
+	// poison only this request, never the process.
+	pw := &panicWriter{ResponseWriter: w}
+	w = pw
+	defer func() {
+		if rec := recover(); rec != nil {
+			err := fault.AsError(rec)
+			s.met.Inc(Key("query_panics_total", "engine", "server"))
+			s.met.Inc("queries_errors_total")
+			s.cfg.Logger.Error("query handler panic contained", "err", err)
+			if !pw.wrote {
+				writeError(w, http.StatusInternalServerError, "%v", core.Classify(err))
+			}
+		}
+	}()
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -262,6 +315,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// Chaos seam: an injected panic here exercises the handler
+	// containment above; an injected error takes the typed 503 path.
+	if err := injectServerQuery.Inject(); err != nil {
+		s.met.Inc("queries_errors_total")
+		writeError(w, http.StatusServiceUnavailable, "%v", core.Classify(err))
+		return
+	}
+
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -289,16 +350,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	res, err := s.execute(ctx, req)
+	res, degradedFrom, err := s.executeResilient(ctx, r.Context(), req, workers)
 	elapsed := time.Since(start)
 	if err != nil {
+		err = core.Classify(err)
 		status := http.StatusBadRequest
-		if errors.Is(err, context.DeadlineExceeded) {
-			// Non-OLA engines are all-or-nothing: past the deadline
-			// there is no estimate to return.
+		switch {
+		case errors.Is(err, core.ErrTimeout) || errors.Is(err, context.DeadlineExceeded):
+			// Non-OLA engines are all-or-nothing: past the deadline (and
+			// past the degradation ladder) there is no estimate to return.
 			status = http.StatusGatewayTimeout
 			s.met.Inc("queries_deadline_total")
-		} else if errors.Is(err, context.Canceled) {
+		case errors.Is(err, core.ErrOverloaded):
+			status = http.StatusTooManyRequests
+		case errors.Is(err, core.ErrEngineUnavailable):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, core.ErrQueryPanic):
+			status = http.StatusInternalServerError
+		case errors.Is(err, context.Canceled):
 			status = http.StatusRequestTimeout
 		}
 		s.met.Inc("queries_errors_total")
@@ -347,6 +416,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"workers", res.Diagnostics.Workers,
 		"spec_satisfied", res.Diagnostics.SpecSatisfied,
 		"partial", res.Diagnostics.Partial,
+		"degraded", res.Diagnostics.Degraded,
 	}
 	if elapsed >= s.cfg.SlowQuery {
 		s.cfg.Logger.Warn("slow query", logAttrs...)
@@ -361,6 +431,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.aud.Offer(res, req.SQL)
 
 	resp := encodeResult(res)
+	resp.DegradedFrom = degradedFrom
 	if prof != nil {
 		resp.Trace = prof.Profile()
 	}
@@ -387,6 +458,8 @@ func (s *Server) execute(ctx context.Context, req QueryRequest) (*core.Result, e
 		return s.db.QueryOfflineContext(ctx, req.SQL, spec)
 	case "ola":
 		return s.db.QueryOLAContext(ctx, req.SQL, spec)
+	case "synopsis":
+		return s.db.QuerySynopsisContext(ctx, req.SQL, spec)
 	case "as-written":
 		return s.db.QueryAsWrittenContext(ctx, req.SQL, spec)
 	default:
@@ -496,6 +569,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"max_query_workers": int64(s.cfg.MaxQueryWorkers),
 		"uptime_seconds":    int64(time.Since(s.start).Seconds()),
 	}
+	s.engineTrippedGauges(gauges)
 	if s.aud != nil {
 		rep := s.aud.Report()
 		gauges["audit_backlog"] = int64(rep.Backlog)

@@ -188,12 +188,25 @@ func TestOLADeadlinePartial(t *testing.T) {
 	}
 
 	// A non-OLA engine under the same impossible deadline is
-	// all-or-nothing: 504.
-	resp, _, _ = postQuery(t, ts.URL, QueryRequest{
+	// all-or-nothing, but the degradation ladder substitutes a partial
+	// OLA estimate rather than failing: 200 with degraded:true.
+	resp, ok, bad = postQuery(t, ts.URL, QueryRequest{
 		SQL: "SELECT AVG(x) FROM t", Mode: "exact", TimeoutMS: 1,
 	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact under 1ms deadline with ladder: status = %d (%s), want degraded 200", resp.StatusCode, bad.Error)
+	}
+	if !ok.Degraded || ok.DegradedFrom != "exact" {
+		t.Fatalf("ladder answer not flagged: degraded=%v degraded_from=%q", ok.Degraded, ok.DegradedFrom)
+	}
+
+	// With the ladder disabled for the request, the old contract holds:
+	// past the deadline there is no estimate, so 504.
+	resp, _, _ = postQuery(t, ts.URL, QueryRequest{
+		SQL: "SELECT AVG(x) FROM t", Mode: "exact", TimeoutMS: 1, NoDegrade: true,
+	})
 	if resp.StatusCode != http.StatusGatewayTimeout {
-		t.Fatalf("exact under 1ms deadline: status = %d, want 504", resp.StatusCode)
+		t.Fatalf("exact under 1ms deadline, no_degrade: status = %d, want 504", resp.StatusCode)
 	}
 
 	snap := getMetrics(t, ts.URL)

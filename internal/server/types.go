@@ -28,6 +28,10 @@ type QueryRequest struct {
 	// Trace embeds the per-query span profile in the response. Tracing
 	// is observational only: rows are bit-identical either way.
 	Trace bool `json:"trace,omitempty"`
+	// NoDegrade disables the graceful-degradation ladder for this query:
+	// on engine failure or deadline the caller gets the typed error
+	// instead of a best-effort estimate from a cheaper technique.
+	NoDegrade bool `json:"no_degrade,omitempty"`
 }
 
 // ItemJSON annotates one result cell.
@@ -54,11 +58,19 @@ type QueryResponse struct {
 
 	// Partial marks a deadline-truncated online-aggregation answer: the
 	// best progressive estimate available when time ran out.
-	Partial        bool     `json:"partial"`
-	SpecSatisfied  bool     `json:"spec_satisfied"`
-	LatencyMS      float64  `json:"latency_ms"`
-	RowsScanned    int64    `json:"rows_scanned"`
-	SampleFraction float64  `json:"sample_fraction"`
+	Partial bool `json:"partial"`
+	// Degraded marks a best-effort answer that is not what the request
+	// asked for: the requested engine failed or timed out and the
+	// degradation ladder substituted a cheaper technique (or kept a
+	// partial estimate after a mid-query fault). The CI fields still
+	// describe exactly the estimate returned.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedFrom names the originally requested mode when Degraded.
+	DegradedFrom   string  `json:"degraded_from,omitempty"`
+	SpecSatisfied  bool    `json:"spec_satisfied"`
+	LatencyMS      float64 `json:"latency_ms"`
+	RowsScanned    int64   `json:"rows_scanned"`
+	SampleFraction float64 `json:"sample_fraction"`
 	// Workers is the morsel-parallel worker count the query ran with.
 	Workers  int      `json:"workers,omitempty"`
 	Messages []string `json:"messages,omitempty"`
@@ -143,6 +155,7 @@ func encodeResult(res *core.Result) *QueryResponse {
 		RelError:       res.Spec.RelError,
 		ConfSpec:       res.Spec.Confidence,
 		Partial:        res.Diagnostics.Partial,
+		Degraded:       res.Diagnostics.Degraded,
 		SpecSatisfied:  res.Diagnostics.SpecSatisfied,
 		LatencyMS:      float64(res.Diagnostics.Latency.Microseconds()) / 1e3,
 		RowsScanned:    res.Diagnostics.Counters.RowsScanned,
@@ -183,8 +196,8 @@ func encodeResult(res *core.Result) *QueryResponse {
 // validMode reports whether the request mode is recognized.
 func validMode(m string) error {
 	switch m {
-	case "", "auto", "exact", "online", "offline", "ola", "as-written":
+	case "", "auto", "exact", "online", "offline", "ola", "synopsis", "as-written":
 		return nil
 	}
-	return fmt.Errorf("unknown mode %q (want auto, exact, online, offline, ola, or as-written)", m)
+	return fmt.Errorf("unknown mode %q (want auto, exact, online, offline, ola, synopsis, or as-written)", m)
 }
