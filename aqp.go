@@ -28,7 +28,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/plan"
+	"repro/internal/shard"
 	"repro/internal/sqlparse"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -74,7 +76,26 @@ type (
 	OLAConfig = core.OLAConfig
 	// Profile is a structured per-query execution profile (span tree).
 	Profile = trace.Profile
+	// ShardKey declares how a table is partitioned into shards.
+	ShardKey = shard.Key
+	// ShardGroup is a sharded view over a table.
+	ShardGroup = shard.Group
+	// ShardHealth is one shard's liveness summary.
+	ShardHealth = shard.Health
 )
+
+// Shard key kinds.
+const (
+	// ShardHash spreads rows uniformly by key hash (lost shards can be
+	// extrapolated over).
+	ShardHash = shard.KeyHash
+	// ShardRange holds contiguous key ranges per shard (range predicates
+	// prune shards; lost shards are a systematic gap).
+	ShardRange = shard.KeyRange
+)
+
+// ParseShardKind parses a shard-kind name: "hash" (or "") or "range".
+func ParseShardKind(s string) (shard.KeyKind, error) { return shard.ParseKeyKind(s) }
 
 // Column types.
 const (
@@ -171,6 +192,7 @@ type DB struct {
 	ola      *core.OLAEngine
 	synopsis *core.SynopsisEngine
 	advisor  *core.Advisor
+	shards   *shard.Map
 }
 
 // New creates an empty database.
@@ -195,9 +217,12 @@ func Open(cat *storage.Catalog, opts ...Option) *DB {
 		db.offlineCfg.Workers = db.workers
 		db.olaCfg.Workers = db.workers
 	}
+	db.shards = shard.NewMap()
 	db.exact = core.NewExactEngine(cat)
 	db.exact.Workers = db.workers
+	db.exact.Shards = db.shards
 	db.online = core.NewOnlineEngine(cat, db.onlineCfg)
+	db.online.Shards = db.shards
 	db.offline = core.NewOfflineEngine(cat, db.offlineCfg)
 	db.ola = core.NewOLAEngine(cat, db.olaCfg)
 	db.synopsis = core.NewSynopsisEngine(cat)
@@ -219,6 +244,31 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 
 // Table looks up a registered table.
 func (db *DB) Table(name string) (*Table, error) { return db.catalog.Table(name) }
+
+// ShardTable partitions a registered table into independent shards by the
+// declared key. Single-table aggregate queries over it then execute
+// scatter-gather: every shard computes its own partial estimate (with an
+// independently seeded sample under approximate engines) and the partials
+// compose into one stratified answer. The base table remains the ingest
+// surface — new rows are routed to shards before every query. With
+// key.Count == 1 execution is bit-identical to the unsharded engine.
+func (db *DB) ShardTable(name string, key ShardKey) (*ShardGroup, error) {
+	t, err := db.catalog.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := shard.Partition(t, key, fault.BreakerConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.shards.Add(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Shards returns the registry of sharded tables (nil-safe, possibly empty).
+func (db *DB) Shards() *shard.Map { return db.shards }
 
 // QueryProfile collects a per-query execution profile. Obtain one with
 // WithProfile, run any query under the returned context, then read the
@@ -568,5 +618,11 @@ func FormatResult(r *Result) string {
 	out += fmt.Sprintf("-- technique=%s guarantee=%s rows_scanned=%d sample_fraction=%.4f latency=%s\n",
 		r.Technique, r.Guarantee, r.Diagnostics.Counters.RowsScanned,
 		r.Diagnostics.SampleFraction, r.Diagnostics.Latency)
+	// Shard line only for sharded executions: zero-shard output is
+	// byte-identical to what this function produced before sharding.
+	if sh := r.Diagnostics.Shards; sh != nil {
+		out += fmt.Sprintf("-- shards=%d key=%s coverage=%.4f degraded=%d pruned=%d extrapolated=%v\n",
+			sh.Count, sh.Key, sh.CoverageFraction, len(sh.Degraded), len(sh.Pruned), sh.Extrapolated)
+	}
 	return out
 }

@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"time"
 
@@ -65,6 +66,7 @@ func main() {
 		profile = flag.Bool("profile", false, "print an EXPLAIN ANALYZE span profile of a canonical query and exit")
 		auditSm = flag.Bool("audit", false, "run the accuracy-audit smoke: serve sampled queries, drain the audit lane, fail on backlog or errors")
 		chaosSm = flag.Bool("chaos", false, "run the chaos gate: serve queries under injected panics/errors, fail on process death, un-flagged degraded responses, invalid CIs, or baseline drift")
+		shardSw = flag.Bool("shards", false, "run the shard sweep: scatter-gather latency and CI width at 1/2/4/8 shards")
 	)
 	flag.Parse()
 
@@ -91,6 +93,13 @@ func main() {
 	if *chaosSm {
 		if err := runChaosGate(*rows, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "aqpbench: chaos gate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardSw {
+		if err := runShardSweep(*rows, *trials, *seed, *workers, *jsonOut, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: shard sweep: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -423,6 +432,97 @@ func runChaosGate(rows int, seed int64) error {
 
 	fmt.Printf("chaos gate: %d queries under injection (%d ok, %d degraded, %d typed errors); %d faults fired across %d points; baseline bit-identical with injection off\n",
 		served+errored, served, degraded, errored, fires, len(fault.Status()))
+	return nil
+}
+
+// runShardSweep measures scatter-gather execution against the unsharded
+// baseline across shard counts: exact and sampled latency plus the
+// realized relative CI half-width of the stratified composition. The
+// single-shard row doubles as the overhead floor — it runs the scatter
+// path over the base table itself.
+func runShardSweep(rows, trials int, seed int64, workers int, jsonOut bool, outDir string) error {
+	const sql = "SELECT SUM(ev_value) AS s FROM events"
+	if trials > 10 {
+		trials = 10 // per-count medians stabilize quickly; keep the sweep brisk
+	}
+	if trials < 3 {
+		trials = 3
+	}
+	ctx := context.Background()
+	if workers > 0 {
+		ctx = exec.ContextWithWorkers(ctx, workers)
+	}
+
+	tab := &experiments.Table{
+		ID:     "shards",
+		Title:  "Scatter-gather shard sweep: latency and CI width vs shard count",
+		Header: []string{"shards", "exact_ms", "online_ms", "rel_ci_width", "coverage"},
+		Notes: []string{
+			fmt.Sprintf("events rows=%d trials=%d seed=%d query=%q", rows, trials, seed, sql),
+			"shards=0 is the unsharded baseline; shards=1 adds only scatter overhead",
+			"rel_ci_width is the realized relative CI half-width of the online estimate",
+		},
+	}
+
+	median := func(ds []time.Duration) float64 {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return float64(ds[len(ds)/2].Microseconds()) / 1e3
+	}
+
+	for _, n := range []int{0, 1, 2, 4, 8} {
+		ev, err := workload.GenerateEvents(workload.EventsConfig{
+			Seed: seed, Rows: rows, NumGroups: 16, Skew: 0.8})
+		if err != nil {
+			return err
+		}
+		db := aqp.Open(ev.Catalog, aqp.WithOnlineConfig(core.OnlineConfig{
+			DefaultRate: 0.1, MinTableRows: 1, Seed: seed}))
+		if n > 0 {
+			if _, err := db.ShardTable("events", aqp.ShardKey{
+				Column: "ev_user", Kind: aqp.ShardHash, Count: n}); err != nil {
+				return err
+			}
+		}
+
+		var exactLat, onlineLat []time.Duration
+		var width, coverage float64
+		spec := aqp.ErrorSpec{RelError: 0.5, Confidence: 0.95}
+		for trial := 0; trial < trials; trial++ {
+			start := time.Now()
+			if _, err := db.QueryContext(ctx, sql); err != nil {
+				return fmt.Errorf("shards=%d exact: %w", n, err)
+			}
+			exactLat = append(exactLat, time.Since(start))
+
+			start = time.Now()
+			res, err := db.QueryOnlineContext(ctx, sql, spec)
+			if err != nil {
+				return fmt.Errorf("shards=%d online: %w", n, err)
+			}
+			onlineLat = append(onlineLat, time.Since(start))
+			width = res.MaxRelHalfWidth()
+			coverage = 1
+			if sh := res.Diagnostics.Shards; sh != nil {
+				coverage = sh.CoverageFraction
+			}
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.3f", median(exactLat)),
+			fmt.Sprintf("%.3f", median(onlineLat)),
+			fmt.Sprintf("%.4f", width),
+			fmt.Sprintf("%.4f", coverage),
+		})
+	}
+
+	fmt.Println(tab)
+	if jsonOut {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		scale := experiments.Scale{Rows: rows, Trials: trials, Seed: seed, Workers: workers}
+		return writeJSON(outDir, tab, scale, 0)
+	}
 	return nil
 }
 

@@ -8,9 +8,10 @@
 //	aqpd -load orders=orders.csv          # serve CSV tables (repeatable)
 //
 // Endpoints: POST /query, GET /tables, POST /samples/build,
-// GET /metrics, GET /audit, GET /faults, GET /healthz. See README.md for
-// a curl quickstart. -chaos-config arms deterministic fault injection
-// for resilience drills.
+// GET /metrics, GET /audit, GET /faults, GET /shards, GET /healthz. See
+// README.md for a curl quickstart. -chaos-config arms deterministic
+// fault injection for resilience drills; -shards enables scatter-gather
+// execution over partitioned tables.
 package main
 
 import (
@@ -65,6 +66,10 @@ func main() {
 		chaosCfg   = flag.String("chaos-config", "", "arm fault injection: comma-separated point:kind:prob[:latency] rules (kind: error|panic|latency; point may be *); GET /faults lists points")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed of the deterministic fault-injection decisions")
 		degradeBgt = flag.Duration("degrade-budget", 500*time.Millisecond, "per-rung time budget of the graceful-degradation ladder (negative disables)")
+		shards     = flag.Int("shards", 0, "partition tables into this many shards for scatter-gather execution (0 disables)")
+		shardKey   = flag.String("shard-key", "", "shard-routing column (required with -shards > 1)")
+		shardKind  = flag.String("shard-kind", "hash", "shard routing: hash or range")
+		shardTable = flag.String("shard-table", "", "table to shard (default: every table that has the -shard-key column)")
 		loads      loadFlags
 	)
 	flag.Var(&loads, "load", "load a CSV table as name=path.csv (repeatable; types inferred)")
@@ -96,6 +101,12 @@ func main() {
 	for _, n := range names {
 		if t, err := db.Table(n); err == nil {
 			log.Printf("table %s: %d rows, %d columns", n, t.NumRows(), len(t.Schema()))
+		}
+	}
+
+	if *shards > 0 {
+		if err := shardTables(db, *shards, *shardKey, *shardKind, *shardTable); err != nil {
+			log.Fatalf("aqpd: %v", err)
 		}
 	}
 
@@ -157,6 +168,40 @@ func main() {
 		log.Printf("aqpd: http shutdown: %v", err)
 	}
 	log.Printf("aqpd: bye")
+}
+
+// shardTables partitions the named table (or every table carrying the key
+// column) into count shards, so queries scatter-gather with per-shard
+// containment. GET /shards reports the resulting layout.
+func shardTables(db *aqp.DB, count int, keyCol, kindName, only string) error {
+	kind, err := aqp.ParseShardKind(kindName)
+	if err != nil {
+		return err
+	}
+	if count > 1 && keyCol == "" {
+		return fmt.Errorf("-shards %d requires -shard-key", count)
+	}
+	key := aqp.ShardKey{Column: keyCol, Kind: kind, Count: count}
+	for _, n := range db.Catalog().Names() {
+		if only != "" && n != only {
+			continue
+		}
+		if only == "" && keyCol != "" {
+			t, err := db.Table(n)
+			if err != nil || t.Schema().ColumnIndex(keyCol) < 0 {
+				continue
+			}
+		}
+		g, err := db.ShardTable(n, key)
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", n, err)
+		}
+		log.Printf("table %s sharded: %s", n, g.Key())
+	}
+	if len(db.Shards().Names()) == 0 {
+		return fmt.Errorf("-shards matched no table (key column %q, table %q)", keyCol, only)
+	}
+	return nil
 }
 
 // buildDB assembles the catalog from the generator and/or CSV loads.

@@ -15,12 +15,15 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	aqp "repro"
+	"repro/internal/fault"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -36,6 +39,9 @@ func main() {
 		out     = flag.String("out", ".", "output directory")
 		drift   = flag.Int("drift", 0, "events: append this many drifted rows after generation (staleness demo)")
 		driftX  = flag.Float64("drift-factor", 4, "events: multiplier on drifted-row values")
+		shards  = flag.Int("shards", 0, "also emit each table pre-partitioned into this many shards (requires -shard-key)")
+		shKey   = flag.String("shard-key", "", "shard-routing column for -shards")
+		shKind  = flag.String("shard-kind", "hash", "shard routing for -shards: hash or range")
 	)
 	flag.Parse()
 
@@ -90,7 +96,82 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", path, t.NumRows())
+		if *shards > 0 {
+			if err := writeShards(*out, t, *shards, *shKey, *shKind); err != nil {
+				fatal(err)
+			}
+		}
 	}
+}
+
+// shardManifest records a pre-partitioned dataset's layout so loaders can
+// verify per-shard row counts against what the generator routed.
+type shardManifest struct {
+	Table        string   `json:"table"`
+	Rows         int      `json:"rows"`
+	Key          string   `json:"key"`
+	Kind         string   `json:"kind"`
+	Count        int      `json:"count"`
+	RowsPerShard []int    `json:"rows_per_shard"`
+	Files        []string `json:"files"`
+}
+
+// writeShards partitions one generated table with the same routing the
+// engine uses at query time and emits <table>.shard<i>.csv per shard plus
+// <table>.manifest.json with the per-shard row counts.
+func writeShards(out string, t *storage.Table, count int, keyCol, kindName string) error {
+	kind, err := aqp.ParseShardKind(kindName)
+	if err != nil {
+		return err
+	}
+	if keyCol == "" {
+		return fmt.Errorf("-shards requires -shard-key")
+	}
+	if t.Schema().ColumnIndex(keyCol) < 0 {
+		// Star tables don't share a key column; shard only where it exists.
+		fmt.Printf("skip %s: no column %q\n", t.Name(), keyCol)
+		return nil
+	}
+	g, err := shard.Partition(t, shard.Key{Column: keyCol, Kind: kind, Count: count}, fault.BreakerConfig{})
+	if err != nil {
+		return err
+	}
+	man := shardManifest{
+		Table: t.Name(), Rows: t.NumRows(),
+		Key: keyCol, Kind: kind.String(), Count: count,
+	}
+	for i, sh := range g.Shards() {
+		path := filepath.Join(out, fmt.Sprintf("%s.shard%d.csv", t.Name(), i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		if err := aqp.DumpTableCSV(w, sh.Scan()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		man.RowsPerShard = append(man.RowsPerShard, sh.Rows())
+		man.Files = append(man.Files, filepath.Base(path))
+		fmt.Printf("wrote %s (%d rows)\n", path, sh.Rows())
+	}
+	manPath := filepath.Join(out, t.Name()+".manifest.json")
+	blob, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(manPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s over %q, %d shards)\n", manPath, man.Kind, keyCol, count)
+	return nil
 }
 
 func fatal(err error) {

@@ -17,6 +17,8 @@
 //	\profile <sql>              profile a query shape for offline certification
 //	\synopsis <table> <col>     build histogram/HLL/CMS synopses
 //	\advise <sql>               show which engine the advisor would pick
+//	\shard <table> <col> <n> [hash|range]  partition a table for scatter-gather
+//	\shards                     list sharded tables with per-shard health
 //	\matrix <sql> [; <sql>...]  measure the no-silver-bullet matrix on probes
 //	\audit                      print the continuous accuracy-audit report
 //	\faults                     list fault-injection points with hit/fire counts
@@ -183,6 +185,11 @@ func meta(sh *shell, line string) bool {
 		fmt.Printf("-- technique=%s guarantee=%s rows_scanned=%d latency=%s\n",
 			res.Technique, res.Guarantee,
 			res.Diagnostics.Counters.RowsScanned, res.Diagnostics.Latency)
+		if shd := res.Diagnostics.Shards; shd != nil {
+			fmt.Printf("-- shards=%d key=%s coverage=%.4f degraded=%d pruned=%d extrapolated=%v\n",
+				shd.Count, shd.Key, shd.CoverageFraction,
+				len(shd.Degraded), len(shd.Pruned), shd.Extrapolated)
+		}
 	case "\\advise":
 		d, err := db.Advise(rest)
 		if err != nil {
@@ -252,6 +259,46 @@ func meta(sh *shell, line string) bool {
 			fmt.Printf("warning: audit backlog not drained: %v\n", err)
 		}
 		fmt.Print(sh.aud.Report().String())
+	case "\\shard":
+		if len(fields) < 4 {
+			fmt.Println("usage: \\shard <table> <col> <count> [hash|range]")
+			return false
+		}
+		count, err := strconv.Atoi(fields[3])
+		if err != nil {
+			fmt.Println("bad shard count:", fields[3])
+			return false
+		}
+		kindName := "hash"
+		if len(fields) > 4 {
+			kindName = fields[4]
+		}
+		kind, err := aqp.ParseShardKind(kindName)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		g, err := db.ShardTable(fields[1], aqp.ShardKey{Column: fields[2], Kind: kind, Count: count})
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("sharded %s: %s\n", fields[1], g.Key())
+	case "\\shards":
+		names := db.Shards().Names()
+		if len(names) == 0 {
+			fmt.Println("no sharded tables (\\shard <table> <col> <count> to create)")
+			return false
+		}
+		for _, n := range names {
+			g := db.Shards().Get(n)
+			fmt.Printf("%s: %s, %d rows\n", n, g.Key(), g.Rows())
+			fmt.Printf("  %-6s %10s %8s %8s %12s %8s\n", "SHARD", "ROWS", "OPEN", "TRIPS", "SAMPLE_ROWS", "FRESH")
+			for _, h := range g.Health() {
+				fmt.Printf("  %-6d %10d %8v %8d %12d %8v\n",
+					h.ID, h.Rows, h.Open, h.Trips, h.SampleRows, h.SampleFresh)
+			}
+		}
 	case "\\synopsis":
 		if len(fields) < 3 {
 			fmt.Println("usage: \\synopsis <table> <col>")

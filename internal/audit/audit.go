@@ -76,6 +76,10 @@ type Event struct {
 	RelError float64
 	// LagMS is serve-to-audit latency (EventAudited).
 	LagMS float64
+	// DegradedShards attributes a covered/missed outcome to the shards
+	// that failed while the claim was served — a miss on a degraded,
+	// extrapolated answer indicts shard loss, not the estimator.
+	DegradedShards []int
 }
 
 // Config tunes the auditor.
@@ -197,6 +201,7 @@ type Auditor struct {
 	offered, sampled, deduped, dropped int64
 	audited, errors, unmatched         int64
 	violations, panics                 int64
+	shardDegraded, shardDegradedMiss   int64
 
 	lastTraces []string
 
@@ -545,6 +550,13 @@ func (a *Auditor) finish(j *job, truth *core.Result) {
 	}
 	cmp := compare(j, truth)
 
+	// Answers served off a degraded shard group carry the failed-shard
+	// list so coverage misses can be attributed to shard loss.
+	var degraded []int
+	if sh := j.claimed.Diagnostics.Shards; sh != nil && len(sh.Degraded) > 0 {
+		degraded = sh.Degraded
+	}
+
 	var events []Event
 	// The unlock is deferred (not straight-line) so a panic while folding
 	// estimators leaves the mutex released for the containment handler.
@@ -552,6 +564,9 @@ func (a *Auditor) finish(j *job, truth *core.Result) {
 		a.mu.Lock()
 		defer a.mu.Unlock()
 		a.audited++
+		if degraded != nil {
+			a.shardDegraded++
+		}
 		a.unmatched += int64(cmp.unmatched)
 		lag := time.Since(j.servedAt)
 		events = append(events, Event{Kind: EventAudited, Technique: j.technique,
@@ -574,9 +589,12 @@ func (a *Auditor) finish(j *job, truth *core.Result) {
 			kind := EventCovered
 			if !it.covered {
 				kind = EventMissed
+				if degraded != nil {
+					a.shardDegradedMiss++
+				}
 			}
 			events = append(events, Event{Kind: kind, Technique: j.technique,
-				Aggregate: it.aggregate, RelError: it.relErr})
+				Aggregate: it.aggregate, RelError: it.relErr, DegradedShards: degraded})
 			events = append(events, a.checkBudgetLocked(key, e)...)
 		}
 		events = append(events, a.recordDriftLocked(j, truth, cmp)...)

@@ -402,3 +402,54 @@ func TestRelError(t *testing.T) {
 }
 
 func close2(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+
+func TestShardDegradedAttribution(t *testing.T) {
+	exec := &fakeExec{truth: 100, rows: 1000}
+	rec := &recorder{}
+	a := New(exec, nil, Config{Fraction: 1, OnEvent: rec.hook()})
+	defer a.Close()
+
+	// A covered answer and a missed answer, both served off a shard group
+	// that lost shard 2, plus one healthy miss for contrast.
+	degradedHit := claimed(100, 90, 110, 1000)
+	degradedHit.Diagnostics.Shards = &core.ShardExecSummary{
+		Table: "events", Count: 4, Degraded: []int{2}, Extrapolated: true, CoverageFraction: 0.75,
+	}
+	degradedMiss := claimed(10, 5, 15, 1000)
+	degradedMiss.Diagnostics.Shards = &core.ShardExecSummary{
+		Table: "events", Count: 4, Degraded: []int{2}, Extrapolated: true, CoverageFraction: 0.75,
+	}
+	healthyMiss := claimed(10, 5, 15, 1000)
+
+	a.Offer(degradedHit, distinctSQL(0))
+	a.Offer(degradedMiss, distinctSQL(1))
+	a.Offer(healthyMiss, distinctSQL(2))
+	drain(t, a)
+
+	rep := a.Report()
+	if rep.ShardDegradedAudits != 2 {
+		t.Fatalf("ShardDegradedAudits = %d, want 2", rep.ShardDegradedAudits)
+	}
+	if rep.ShardDegradedMisses != 1 {
+		t.Fatalf("ShardDegradedMisses = %d, want 1", rep.ShardDegradedMisses)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	var tagged, untagged int
+	for _, ev := range rec.events {
+		if ev.Kind != EventCovered && ev.Kind != EventMissed {
+			continue
+		}
+		if len(ev.DegradedShards) > 0 {
+			if ev.DegradedShards[0] != 2 {
+				t.Fatalf("DegradedShards = %v, want [2]", ev.DegradedShards)
+			}
+			tagged++
+		} else {
+			untagged++
+		}
+	}
+	if tagged != 2 || untagged != 1 {
+		t.Fatalf("tagged %d untagged %d, want 2/1", tagged, untagged)
+	}
+}

@@ -55,6 +55,12 @@ type Report struct {
 	Panics     int64 `json:"panics"`
 	Backlog    int   `json:"backlog"`
 
+	// ShardDegradedAudits counts audited answers that were served off a
+	// degraded shard group; ShardDegradedMisses is how many of their CI
+	// misses are attributable to shard loss rather than the estimator.
+	ShardDegradedAudits int64 `json:"shard_degraded_audits,omitempty"`
+	ShardDegradedMisses int64 `json:"shard_degraded_misses,omitempty"`
+
 	Techniques []TechniqueCoverage `json:"techniques"`
 	Tables     []TableReport       `json:"tables"`
 	LastTraces []string            `json:"last_traces,omitempty"`
@@ -80,6 +86,9 @@ func (a *Auditor) Report() Report {
 		Violations: a.violations,
 		Panics:     a.panics,
 		Backlog:    len(a.queue),
+
+		ShardDegradedAudits: a.shardDegraded,
+		ShardDegradedMisses: a.shardDegradedMiss,
 	}
 	if a.busy {
 		r.Backlog++
@@ -142,6 +151,10 @@ func (r Report) String() string {
 	if r.Unmatched > 0 || r.Violations > 0 || r.Panics > 0 {
 		fmt.Fprintf(&b, "alerts: unmatched groups %d  budget violations %d  contained panics %d\n",
 			r.Unmatched, r.Violations, r.Panics)
+	}
+	if r.ShardDegradedAudits > 0 {
+		fmt.Fprintf(&b, "shards: %d audited answers served degraded, %d CI misses attributable to shard loss\n",
+			r.ShardDegradedAudits, r.ShardDegradedMisses)
 	}
 	if len(r.Techniques) == 0 {
 		b.WriteString("no audited queries yet\n")

@@ -138,8 +138,34 @@ type Diagnostics struct {
 	// from, so accuracy audits can correlate coverage misses with data
 	// drift after the fact.
 	Lineage SampleLineage
+	// Shards summarizes sharded scatter-gather execution; nil for
+	// unsharded runs (and thus absent from serialized diagnostics, keeping
+	// single-table output identical to before sharding existed).
+	Shards *ShardExecSummary
 	// Messages carries human-readable engine notes.
 	Messages []string
+}
+
+// ShardExecSummary records how a scatter-gather execution went: the group
+// shape, which shards failed or were pruned, and whether the survivors'
+// estimates were extrapolated to the full population.
+type ShardExecSummary struct {
+	// Table is the sharded table; Count its shard count; Key the
+	// partitioning declaration (e.g. "hash(ev_user)/4").
+	Table string
+	Count int
+	Key   string
+	// RowsPerShard is each shard's population, in shard order.
+	RowsPerShard []int
+	// Degraded lists shards that failed to contribute; Pruned lists shards
+	// skipped because their key range provably held no matching rows.
+	Degraded []int
+	Pruned   []int
+	// Extrapolated reports that surviving hash shards' totals were scaled
+	// to the full population (with variances scaled accordingly).
+	Extrapolated bool
+	// CoverageFraction is covered rows / total rows (1 when healthy).
+	CoverageFraction float64
 }
 
 // SampleLineage ties a result to the state of the base table its backing

@@ -7,6 +7,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/plan"
+	"repro/internal/shard"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -22,6 +23,10 @@ type ExactEngine struct {
 	// Workers is the morsel-parallel worker count; 0 defers to a context
 	// override or runtime.GOMAXPROCS.
 	Workers int
+	// Shards, when set, routes single-table aggregate queries over sharded
+	// tables through the scatter-gather executor. A nil map (or unsharded
+	// table) leaves execution exactly as before.
+	Shards *shard.Map
 }
 
 // NewExactEngine builds an exact engine over the catalog.
@@ -57,6 +62,31 @@ func (e *ExactEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.SelectS
 	plan.ClearSamplers(p)
 	workers := resolveWorkers(ctx, p, e.Workers)
 	esp.SetAttrInt("workers", int64(workers))
+
+	if g := shardGroupFor(e.Shards, stmt); g != nil && exec.Gatherable(p) {
+		run, err := runSharded(ctx, g, stmt, p, nil, workers)
+		if err != nil {
+			return nil, err
+		}
+		asp, _ := trace.StartSpan(ctx, "estimate")
+		guarantee := GuaranteeExact
+		if run.degraded {
+			// A degraded exact run is missing rows with no variance model
+			// to account for them: no defensible error statement exists.
+			guarantee = GuaranteeNone
+		}
+		out := annotate(stmt, run.raw, spec, TechniqueExact, guarantee)
+		asp.End()
+		out.Diagnostics.Latency = time.Since(start)
+		out.Diagnostics.SampleFraction = 1
+		out.Diagnostics.Workers = workers
+		out.Diagnostics.Degraded = run.degraded
+		out.Diagnostics.Shards = run.summary
+		out.Diagnostics.Messages = append(out.Diagnostics.Messages, run.messages...)
+		stampLineage(&out.Diagnostics, e.Catalog, stmt.From.Name)
+		return out, nil
+	}
+
 	res, err := exec.RunParallelContext(ctx, p, workers)
 	if err != nil {
 		return nil, err

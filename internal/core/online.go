@@ -11,6 +11,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/plan"
 	"repro/internal/sample"
+	"repro/internal/shard"
 	"repro/internal/sketch"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
@@ -78,6 +79,12 @@ func DefaultOnlineConfig() OnlineConfig {
 type OnlineEngine struct {
 	Catalog *storage.Catalog
 	Config  OnlineConfig
+	// Shards, when set, routes single-table aggregate queries over sharded
+	// tables through the scatter-gather executor: each shard samples with
+	// an independently derived seed and the partials compose into one
+	// stratified estimate. A nil map (or unsharded table) leaves execution
+	// exactly as before.
+	Shards *shard.Map
 
 	// mu guards the sample cache, the hit/miss counters, and the
 	// histogram registry so concurrent queries may share one engine.
@@ -115,7 +122,7 @@ func NewOnlineEngine(cat *storage.Catalog, cfg OnlineConfig) *OnlineEngine {
 // exactEngine builds the exact-fallback engine, inheriting the worker
 // configuration so fallbacks run at the same parallelism.
 func (e *OnlineEngine) exactEngine() *ExactEngine {
-	return &ExactEngine{Catalog: e.Catalog, Workers: e.Config.Workers}
+	return &ExactEngine{Catalog: e.Catalog, Workers: e.Config.Workers, Shards: e.Shards}
 }
 
 // AttachHistogram registers a selectivity estimator for table.column,
@@ -261,6 +268,12 @@ func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Select
 		}
 	}
 
+	if g := shardGroupFor(e.Shards, stmt); g != nil && exec.Gatherable(p) {
+		// Sharded tables answer scatter-gather; the sample cache does not
+		// apply (each shard owns its own independently seeded sample).
+		return e.executeSharded(ctx, g, stmt, p, spec, notes, start)
+	}
+
 	if e.Config.CacheSamples {
 		csp, cctx := trace.StartSpan(ctx, "sample-cache")
 		res, handled, err := e.tryCached(cctx, stmt, p, spec, notes, start)
@@ -291,6 +304,60 @@ func (e *OnlineEngine) ExecuteContext(ctx context.Context, stmt *sqlparse.Select
 			return nil, err
 		}
 		exactRes.Diagnostics.Counters.Add(raw.Counters)
+		exactRes.Diagnostics.FellBackToExact = true
+		exactRes.Diagnostics.Messages = append(exactRes.Diagnostics.Messages,
+			"online: sampled CIs missed the spec; re-ran exactly (second pass)")
+		exactRes.Diagnostics.Latency = time.Since(start)
+		return exactRes, nil
+	}
+	out.Diagnostics.Latency = time.Since(start)
+	return out, nil
+}
+
+// executeSharded runs the sampled plan scatter-gather over the shard
+// group. The sampler spec placeSamplers chose for the base plan is pushed
+// to every shard with a shard-derived seed; merging the per-shard partials
+// in shard order composes the stratified estimate losslessly, and the
+// finalize step reuses the base plan's above-aggregate chain — with one
+// shard, execution is bit-identical to the unsharded path.
+func (e *OnlineEngine) executeSharded(ctx context.Context, g *shard.Group, stmt *sqlparse.SelectStmt,
+	p plan.Node, spec ErrorSpec, notes []string, start time.Time) (*Result, error) {
+
+	workers := resolveWorkers(ctx, p, e.Config.Workers)
+	var smp *sample.Spec
+	for _, s := range plan.Scans(p) {
+		if s.Sample != nil {
+			smp = s.Sample
+			break
+		}
+	}
+	run, err := runSharded(ctx, g, stmt, p, smp, workers)
+	if err != nil {
+		return nil, err
+	}
+	asp, _ := trace.StartSpan(ctx, "estimate")
+	guarantee := GuaranteeAPosteriori
+	if run.degraded && !run.summary.Extrapolated {
+		// Survivors answer for a population the CI cannot be stretched to
+		// cover (range gap): approximate with no defensible statement.
+		guarantee = GuaranteeNone
+	}
+	out := annotate(stmt, run.raw, spec, TechniqueOnline, guarantee)
+	asp.End()
+	out.Diagnostics.Messages = append(out.Diagnostics.Messages, notes...)
+	out.Diagnostics.Messages = append(out.Diagnostics.Messages, run.messages...)
+	out.Diagnostics.SampleFraction = sampleFraction(run.raw.Counters, run.sampledPop)
+	out.Diagnostics.Workers = workers
+	out.Diagnostics.Degraded = run.degraded
+	out.Diagnostics.Shards = run.summary
+	stampLineage(&out.Diagnostics, e.Catalog, stmt.From.Name)
+
+	if !out.Diagnostics.SpecSatisfied && !run.degraded && e.Config.FallbackToExact {
+		exactRes, err := e.exactEngine().ExecuteContext(ctx, stmt, spec)
+		if err != nil {
+			return nil, err
+		}
+		exactRes.Diagnostics.Counters.Add(run.raw.Counters)
 		exactRes.Diagnostics.FellBackToExact = true
 		exactRes.Diagnostics.Messages = append(exactRes.Diagnostics.Messages,
 			"online: sampled CIs missed the spec; re-ran exactly (second pass)")

@@ -58,42 +58,8 @@ func (op *hashAggOp) Next() (*Batch, error) {
 	op.done = true
 
 	groups := make(map[string]*groupState)
-	keyBuf := make([]storage.Value, len(op.node.GroupBy))
-	for {
-		in, err := op.child.Next()
-		if err != nil {
-			return nil, err
-		}
-		if in == nil {
-			break
-		}
-		for i, row := range in.Rows {
-			r := expr.ValuesRow(row)
-			for k, ge := range op.node.GroupBy {
-				v, err := ge.Eval(r)
-				if err != nil {
-					return nil, err
-				}
-				keyBuf[k] = v
-			}
-			key := groupKeyOf(keyBuf)
-			gs, ok := groups[key]
-			if !ok {
-				gs = &groupState{key: key, groupVal: append([]storage.Value(nil), keyBuf...)}
-				gs.aggs = make([]*aggState, len(op.node.Aggs))
-				for j := range gs.aggs {
-					gs.aggs[j] = &aggState{}
-				}
-				groups[key] = gs
-			}
-			w := in.Weight(i)
-			gs.n++
-			for j, spec := range op.node.Aggs {
-				if err := accumulate(gs.aggs[j], spec, r, w); err != nil {
-					return nil, err
-				}
-			}
-		}
+	if err := drainIntoGroups(op.node, op.child, groups); err != nil {
+		return nil, err
 	}
 
 	out := finalizeGroups(op.node, groups)
@@ -101,6 +67,45 @@ func (op *hashAggOp) Next() (*Batch, error) {
 		return nil, nil
 	}
 	return out, nil
+}
+
+// drainIntoGroups drains child, accumulating every row into the group
+// states. Shared by the serial hash aggregate and the per-shard partial
+// executor (which finalizes only after merging partials across shards).
+func drainIntoGroups(node *plan.Aggregate, child Op, groups map[string]*groupState) error {
+	keyBuf := make([]storage.Value, len(node.GroupBy))
+	for {
+		in, err := child.Next()
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			return nil
+		}
+		for i, row := range in.Rows {
+			r := expr.ValuesRow(row)
+			for k, ge := range node.GroupBy {
+				v, err := ge.Eval(r)
+				if err != nil {
+					return err
+				}
+				keyBuf[k] = v
+			}
+			key := groupKeyOf(keyBuf)
+			gs, ok := groups[key]
+			if !ok {
+				gs = newGroupState(key, keyBuf, len(node.Aggs))
+				groups[key] = gs
+			}
+			w := in.Weight(i)
+			gs.n++
+			for j, spec := range node.Aggs {
+				if err := accumulate(gs.aggs[j], spec, r, w); err != nil {
+					return err
+				}
+			}
+		}
+	}
 }
 
 // finalizeGroups renders accumulated group states to an output batch with

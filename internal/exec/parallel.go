@@ -342,7 +342,22 @@ func (op *morselAggOp) Next() (*Batch, error) {
 		return nil, nil
 	}
 	op.done = true
+	groups, err := op.computeGroups()
+	if err != nil {
+		return nil, err
+	}
+	out := finalizeGroups(op.node, groups)
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
 
+// computeGroups runs the parallel scan-aggregate and returns the merged
+// partial group states without finalizing them — the seam the sharded
+// scatter executor uses to ship mergeable partials instead of finished
+// batches.
+func (op *morselAggOp) computeGroups() (map[string]*groupState, error) {
 	// Scan a snapshot: concurrent appends to the live table neither tear
 	// the read prefix nor move the row count mid-scan, and every worker
 	// sees the same version.
@@ -504,17 +519,13 @@ func (op *morselAggOp) Next() (*Batch, error) {
 			}
 		}
 	}
-	out := finalizeGroups(op.node, groups)
 	if op.sp != nil {
 		ms := op.sp.NewChild("merge")
 		ms.AddTime(time.Since(mergeStart))
 		ms.SetAttrInt("partials", int64(nMorsels))
 		ms.SetAttrInt("groups", int64(len(groups)))
 	}
-	if out.Len() == 0 {
-		return nil, nil
-	}
-	return out, nil
+	return groups, nil
 }
 
 // morselWorker holds one worker's private sampler and counters. Samplers

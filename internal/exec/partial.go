@@ -1,0 +1,258 @@
+package exec
+
+// Partial aggregation states as first-class values.
+//
+// Sharded scatter-gather execution fans a query's aggregate subtree out to
+// independent shards, each of which returns an AggPartial — the same
+// mergeable group states the morsel-parallel operator folds internally —
+// and the gather step merges them in shard order, finalizes once, and
+// re-applies the plan nodes sitting above the aggregate (HAVING filter,
+// projection, sort, limit). Merging HT partials across shards is exactly
+// stratified composition of per-shard estimators (every component is a
+// plain sum over sampled rows), so the composed confidence intervals are
+// the ones internal/stats.CombineTotals/CombineMeans would produce — see
+// the equivalence test in stats — and folding in fixed shard order keeps
+// the float operation sequence deterministic, preserving the repository's
+// bit-reproducibility guarantee.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// AggPartial is the portable partial-aggregation state of one execution
+// unit (one shard, or one unsharded run): the per-group accumulator map of
+// a single Aggregate node plus the physical work counters of producing it.
+type AggPartial struct {
+	groups map[string]*groupState
+	// Counters is the physical work performed to produce this partial.
+	Counters Counters
+}
+
+// NumGroups returns the number of groups accumulated so far.
+func (p *AggPartial) NumGroups() int { return len(p.groups) }
+
+// EmptyAggPartial returns a partial with no accumulated groups — the
+// correct state when every execution unit was provably empty of matches
+// (e.g. all shards pruned). Finalizing it applies the usual SQL
+// semantics: a global aggregate still emits its one row.
+func EmptyAggPartial() *AggPartial {
+	return &AggPartial{groups: map[string]*groupState{}}
+}
+
+// RunAggPartialContext executes root's aggregate subtree — the (single)
+// Aggregate node and everything below it — and returns the mergeable
+// partial state without finalizing it. Eligible aggregate-over-scan shapes
+// run on the morsel-parallel path with the given worker count; other
+// shapes (e.g. the stateful distinct sampler) accumulate serially. Plan
+// nodes above the aggregate are not executed here; FinalizeAggPartial
+// re-applies them after partials are merged.
+func RunAggPartialContext(ctx context.Context, root plan.Node, workers int) (*AggPartial, error) {
+	a := plan.FindAggregate(root)
+	if a == nil {
+		return nil, fmt.Errorf("exec: plan has no aggregate to compute a partial for")
+	}
+	if workers <= 0 {
+		workers = ResolveWorkers(ctx, 0)
+	}
+	part := &AggPartial{}
+	if scan, residual, ok := morselEligible(a); ok {
+		sp, _ := trace.StartOp(ctx, a.Explain()+" [morsel partial]")
+		op, err := newMorselAggOp(ctx, a, scan, residual, &part.Counters, workers)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		op.sp = sp
+		sp.SetAttr("scan", scan.Explain())
+		groups, err := op.computeGroups()
+		sp.AddRows(op.scanned)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		part.groups = groups
+		return part, nil
+	}
+	// Serial path: run the child operator tree and accumulate its rows.
+	sp, cctx := trace.StartOp(ctx, a.Explain()+" [serial partial]")
+	defer sp.End()
+	child, err := BuildOperatorContext(cctx, a.Child, &part.Counters)
+	if err != nil {
+		return nil, err
+	}
+	if err := child.Open(); err != nil {
+		return nil, err
+	}
+	groups := make(map[string]*groupState)
+	if err := drainIntoGroups(a, child, groups); err != nil {
+		_ = child.Close()
+		return nil, err
+	}
+	if err := child.Close(); err != nil {
+		return nil, err
+	}
+	part.groups = groups
+	return part, nil
+}
+
+// MergeAggPartials folds the partials together in slice order and returns
+// the combined state. Nil entries (failed or skipped units) are ignored.
+// The first non-nil partial is reused as the merge base, so merging a
+// single partial is a move, not a recomputation — the shard-count-1 path
+// performs exactly the float operations of the unsharded path. Per group
+// the fold order is fixed by slice position alone; map iteration within a
+// partial only interleaves independent groups.
+func MergeAggPartials(parts []*AggPartial) *AggPartial {
+	var dst *AggPartial
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if dst == nil {
+			dst = p
+			continue
+		}
+		dst.Counters.Add(p.Counters)
+		for key, gs := range p.groups {
+			if g, ok := dst.groups[key]; ok {
+				mergeGroupState(g, gs)
+			} else {
+				dst.groups[key] = gs
+			}
+		}
+	}
+	return dst
+}
+
+// ScaleForCoverage rescales every group's estimators as if the covered
+// population were 1/r of the full one: SUM and COUNT estimates scale by r
+// with variances ×r², while AVG (a ratio of two scaled totals) and its
+// delta-method variance are invariant, and MIN/MAX/PERCENTILE states are
+// untouched. Used when hash-distributed shards are lost mid-query: the
+// surviving shards are an unbiased window on the table, so scaling by
+// total/covered rows extrapolates honestly (see stats.ExtrapolateTotal
+// for why this is wrong for range shards).
+func (p *AggPartial) ScaleForCoverage(r float64) {
+	if r <= 0 || r == 1 {
+		return
+	}
+	for _, gs := range p.groups {
+		for _, st := range gs.aggs {
+			st.ht.ScalePopulation(r)
+		}
+	}
+}
+
+// partialSourceOp is a leaf operator that finalizes an already-merged
+// partial into the aggregate's output batch: the gather-side stand-in for
+// the whole scan…aggregate subtree.
+type partialSourceOp struct {
+	node *plan.Aggregate
+	part *AggPartial
+	done bool
+}
+
+// Schema implements Operator.
+func (op *partialSourceOp) Schema() storage.Schema { return op.node.Schema() }
+
+// Open implements Operator.
+func (op *partialSourceOp) Open() error { return nil }
+
+// Close implements Operator.
+func (op *partialSourceOp) Close() error { return nil }
+
+// Next implements Operator.
+func (op *partialSourceOp) Next() (*Batch, error) {
+	if op.done {
+		return nil, nil
+	}
+	op.done = true
+	out := finalizeGroups(op.node, op.part.groups)
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// Gatherable reports whether root has the plan shape FinalizeAggPartial
+// can reassemble: a single Aggregate with only Filter/Project/Sort/Limit
+// above it. Callers check this before committing to scatter-gather.
+func Gatherable(root plan.Node) bool {
+	n := root
+	for {
+		switch t := n.(type) {
+		case *plan.Aggregate:
+			return true
+		case *plan.Filter:
+			n = t.Child
+		case *plan.Project:
+			n = t.Child
+		case *plan.Sort:
+			n = t.Child
+		case *plan.Limit:
+			n = t.Child
+		default:
+			return false
+		}
+	}
+}
+
+// FinalizeAggPartial finalizes a merged partial under root's plan shape:
+// the Aggregate node is replaced by the precomputed partial and the chain
+// above it (HAVING filter, projection, sort, limit) executes normally, so
+// gather-side results are shaped and detailed exactly like an unsharded
+// run. The partial's counters are carried into the result.
+func FinalizeAggPartial(ctx context.Context, root plan.Node, part *AggPartial) (*Result, error) {
+	counters := part.Counters
+	op, err := buildGatherOperator(ctx, root, part, &counters)
+	if err != nil {
+		return nil, err
+	}
+	return drainOperator(ctx, op, root.Schema(), &counters)
+}
+
+// buildGatherOperator compiles the above-aggregate plan chain, splicing in
+// the precomputed partial at the Aggregate node. Shapes with anything but
+// Filter/Project/Sort/Limit above the aggregate are not gatherable.
+func buildGatherOperator(ctx context.Context, n plan.Node, part *AggPartial, counters *Counters) (Operator, error) {
+	switch t := n.(type) {
+	case *plan.Aggregate:
+		sp, _ := trace.StartOp(ctx, t.Explain()+" [gather]")
+		sp.SetAttrInt("groups", int64(len(part.groups)))
+		return wrapOp(&partialSourceOp{node: t, part: part}, sp), nil
+	case *plan.Filter:
+		sp, cctx := trace.StartOp(ctx, t.Explain())
+		child, err := buildGatherOperator(cctx, t.Child, part, counters)
+		if err != nil {
+			return nil, err
+		}
+		return wrapOp(&filterOp{child: child, pred: t.Pred}, sp), nil
+	case *plan.Project:
+		sp, cctx := trace.StartOp(ctx, t.Explain())
+		child, err := buildGatherOperator(cctx, t.Child, part, counters)
+		if err != nil {
+			return nil, err
+		}
+		return wrapOp(&projectOp{child: child, node: t, schema: t.Schema()}, sp), nil
+	case *plan.Sort:
+		sp, cctx := trace.StartOp(ctx, t.Explain())
+		child, err := buildGatherOperator(cctx, t.Child, part, counters)
+		if err != nil {
+			return nil, err
+		}
+		return wrapOp(&sortOp{node: t, child: child}, sp), nil
+	case *plan.Limit:
+		sp, cctx := trace.StartOp(ctx, t.Explain())
+		child, err := buildGatherOperator(cctx, t.Child, part, counters)
+		if err != nil {
+			return nil, err
+		}
+		return wrapOp(&limitOp{child: child, n: t.N}, sp), nil
+	}
+	return nil, fmt.Errorf("exec: plan node %T above the aggregate is not gatherable", n)
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/fault"
+	"repro/internal/shard"
 )
 
 // Config tunes the service.
@@ -146,8 +147,15 @@ func New(db *aqp.DB, cfg Config) *Server {
 			OnEvent:  s.onAuditEvent,
 		})
 	}
+	// Per-shard outcome telemetry: one counter increment per shard per
+	// scatter, labeled by table, shard, and outcome.
+	db.Shards().SetObserver(func(ev shard.Event) {
+		s.met.Inc(fmt.Sprintf(`shard_exec_total{outcome="%s",shard="%d",table="%s"}`,
+			EscapeLabelValue(ev.Type), ev.Shard, EscapeLabelValue(ev.Table)))
+	})
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/audit", s.handleAudit)
+	s.mux.HandleFunc("/shards", s.handleShards)
 	s.mux.HandleFunc("/tables", s.handleTables)
 	s.mux.HandleFunc("/samples/build", s.handleBuildSamples)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -465,6 +473,32 @@ func (s *Server) execute(ctx context.Context, req QueryRequest) (*core.Result, e
 	default:
 		return nil, fmt.Errorf("unknown mode %q", req.Mode)
 	}
+}
+
+// ShardGroupStatus is one sharded table's shape plus live per-shard
+// health, for GET /shards.
+type ShardGroupStatus struct {
+	shard.GroupSummary
+	Health []shard.Health `json:"health"`
+}
+
+// handleShards reports every sharded table's layout and per-shard health
+// (row counts, sample freshness, breaker state and trip counts).
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	m := s.db.Shards()
+	out := []ShardGroupStatus{}
+	for _, name := range m.Names() {
+		g := m.Get(name)
+		if g == nil {
+			continue
+		}
+		out = append(out, ShardGroupStatus{GroupSummary: g.Summary(), Health: g.Health()})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleTables lists catalog tables with schemas and stored samples.

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	aqp "repro"
+)
+
+// TestShardedQueryJSON: a query over a sharded table carries the shards
+// summary on the wire, /shards reports layout and health, and per-shard
+// outcome counters land in /metrics.
+func TestShardedQueryJSON(t *testing.T) {
+	db := buildDB(t, 20_000)
+	if _, err := db.ShardTable("t", aqp.ShardKey{Column: "id", Kind: aqp.ShardHash, Count: 4}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, ok, bad := postQuery(t, ts.URL, QueryRequest{SQL: "SELECT COUNT(*) AS c FROM t", Mode: "exact"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, bad.Error)
+	}
+	if ok.Shards == nil {
+		t.Fatal("sharded query response has no shards summary")
+	}
+	if ok.Shards.Table != "t" || ok.Shards.Count != 4 || ok.Shards.Coverage != 1 {
+		t.Fatalf("shards summary = %+v", ok.Shards)
+	}
+	if len(ok.Shards.RowsPerShard) != 4 {
+		t.Fatalf("rows_per_shard = %v", ok.Shards.RowsPerShard)
+	}
+	if got := int64(ok.Rows[0][0].(float64)); got != 20_000 {
+		t.Fatalf("sharded exact COUNT(*) = %d", got)
+	}
+
+	// GET /shards: layout plus live per-shard health.
+	hr, err := http.Get(ts.URL + "/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var groups []ShardGroupStatus
+	if err := json.NewDecoder(hr.Body).Decode(&groups); err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || groups[0].Table != "t" || groups[0].Count != 4 {
+		t.Fatalf("/shards = %+v", groups)
+	}
+	if len(groups[0].Health) != 4 {
+		t.Fatalf("health entries = %d", len(groups[0].Health))
+	}
+	total := 0
+	for _, h := range groups[0].Health {
+		if h.Open {
+			t.Fatalf("healthy shard %d reports open breaker", h.ID)
+		}
+		total += h.Rows
+	}
+	if total != 20_000 {
+		t.Fatalf("/shards rows sum to %d", total)
+	}
+
+	// Per-shard outcome counters.
+	snap := getMetrics(t, ts.URL)
+	hits := 0
+	for k, v := range snap.Counters {
+		if strings.HasPrefix(k, "shard_exec_total{") && strings.Contains(k, `outcome="ok"`) && v > 0 {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("expected 4 ok shard counters, found %d in %v", hits, snap.Counters)
+	}
+}
+
+// TestUnshardedResponseHasNoShardsKey: with no sharded tables the wire
+// JSON must not mention shards at all — byte-compatible with the
+// pre-sharding protocol.
+func TestUnshardedResponseHasNoShardsKey(t *testing.T) {
+	db := buildDB(t, 2_000)
+	srv := New(db, Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT COUNT(*) AS c FROM t", Mode: "exact"})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, raw)
+	}
+	if bytes.Contains(raw, []byte(`"shards"`)) {
+		t.Fatalf("unsharded response leaked a shards field: %s", raw)
+	}
+
+	// The /shards endpoint is an empty list, not an error.
+	hr, err := http.Get(ts.URL + "/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var groups []ShardGroupStatus
+	if err := json.NewDecoder(hr.Body).Decode(&groups); err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("/shards with no sharded tables = %+v", groups)
+	}
+}

@@ -77,6 +77,21 @@ type QueryResponse struct {
 	// Trace is the span profile tree, present when the request set
 	// "trace": true.
 	Trace *trace.Profile `json:"trace,omitempty"`
+	// Shards summarizes scatter-gather execution over a sharded table.
+	// Absent entirely for unsharded queries, so their JSON is unchanged.
+	Shards *ShardsJSON `json:"shards,omitempty"`
+}
+
+// ShardsJSON is the wire form of a sharded execution summary.
+type ShardsJSON struct {
+	Table        string  `json:"table"`
+	Count        int     `json:"count"`
+	Key          string  `json:"key"`
+	RowsPerShard []int   `json:"rows_per_shard,omitempty"`
+	Degraded     []int   `json:"degraded,omitempty"`
+	Pruned       []int   `json:"pruned,omitempty"`
+	Extrapolated bool    `json:"extrapolated,omitempty"`
+	Coverage     float64 `json:"coverage"`
 }
 
 // ErrorResponse is the body of any non-2xx response.
@@ -169,6 +184,18 @@ func encodeResult(res *core.Result) *QueryResponse {
 			enc[j] = encodeValue(v)
 		}
 		out.Rows[i] = enc
+	}
+	if sh := res.Diagnostics.Shards; sh != nil {
+		out.Shards = &ShardsJSON{
+			Table:        sh.Table,
+			Count:        sh.Count,
+			Key:          sh.Key,
+			RowsPerShard: sh.RowsPerShard,
+			Degraded:     sh.Degraded,
+			Pruned:       sh.Pruned,
+			Extrapolated: sh.Extrapolated,
+			Coverage:     sh.CoverageFraction,
+		}
 	}
 	if len(res.Items) > 0 {
 		out.Items = make([][]ItemJSON, len(res.Items))

@@ -1,0 +1,301 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/storage"
+)
+
+// Group is a sharded view over a base table: the base stays the ingest
+// surface (appends land there as before), and Sync routes newly appended
+// rows to the member shards. Every shard owns its rows, its sample seed,
+// and its circuit breaker; the group owns only the routing.
+type Group struct {
+	name     string
+	base     *storage.Table
+	key      Key
+	keyIdx   int
+	shards   []*LocalShard
+	breakers []*fault.Breaker
+
+	mu     sync.Mutex
+	routed int             // base rows already routed to shards
+	cuts   []storage.Value // range-kind upper boundaries, len Count-1
+	obs    func(Event)
+}
+
+// GroupSummary is the static shape of a group, for diagnostics endpoints.
+type GroupSummary struct {
+	Table        string `json:"table"`
+	Count        int    `json:"count"`
+	Key          string `json:"key"`
+	RowsPerShard []int  `json:"rows_per_shard"`
+}
+
+// Partition shards base by key. With key.Count == 1 the single shard
+// references the base table directly — no copy, and (with the identity
+// seed derivation for shard 0) execution is bit-identical to running
+// unsharded. With more shards, rows are materialized into per-shard
+// tables: hash routing spreads them uniformly; range routing cuts the
+// current key distribution at even quantiles, so an empty base table
+// cannot be range-partitioned. bcfg tunes the per-shard circuit breakers
+// (zero value = library defaults).
+func Partition(base *storage.Table, key Key, bcfg fault.BreakerConfig) (*Group, error) {
+	if key.Count < 1 {
+		return nil, fmt.Errorf("shard: shard count %d < 1", key.Count)
+	}
+	g := &Group{name: base.Name(), base: base, key: key, keyIdx: -1}
+	if key.Column != "" {
+		g.keyIdx = base.Schema().ColumnIndex(key.Column)
+		if g.keyIdx < 0 {
+			return nil, fmt.Errorf("shard: key column %q not in table %s", key.Column, base.Name())
+		}
+	}
+	if key.Count == 1 {
+		g.shards = []*LocalShard{newLocalShard(0, base)}
+		g.breakers = []*fault.Breaker{fault.NewBreaker(bcfg)}
+		g.routed = base.NumRows()
+		return g, nil
+	}
+	if g.keyIdx < 0 {
+		return nil, fmt.Errorf("shard: %d shards require a key column", key.Count)
+	}
+	if key.Kind == KeyRange {
+		cuts, err := rangeCuts(base, g.keyIdx, key.Count)
+		if err != nil {
+			return nil, err
+		}
+		g.cuts = cuts
+	}
+	schema := base.Schema().Clone()
+	for i := 0; i < key.Count; i++ {
+		t := storage.NewTableWithBlockSize(
+			fmt.Sprintf("%s__shard%d", base.Name(), i), schema, base.BlockSize())
+		g.shards = append(g.shards, newLocalShard(i, t))
+		g.breakers = append(g.breakers, fault.NewBreaker(bcfg))
+	}
+	if err := g.Sync(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// rangeCuts computes Count-1 upper boundaries at even quantiles of the
+// key column's current distribution (nulls excluded — they route to
+// shard 0 alongside the lowest range).
+func rangeCuts(base *storage.Table, keyIdx, count int) ([]storage.Value, error) {
+	snap := base.Snapshot()
+	col := snap.Column(keyIdx)
+	vals := make([]storage.Value, 0, snap.NumRows())
+	for i := 0; i < snap.NumRows(); i++ {
+		if v := col.Value(i); !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("shard: cannot range-partition %s: no non-null key values to cut", base.Name())
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+	cuts := make([]storage.Value, count-1)
+	for i := 1; i < count; i++ {
+		cuts[i-1] = vals[(i*len(vals))/count]
+	}
+	return cuts, nil
+}
+
+// route picks the shard index for a key value.
+func (g *Group) route(v storage.Value) int {
+	if g.key.Kind == KeyRange {
+		if v.IsNull() {
+			return 0
+		}
+		for i, cut := range g.cuts {
+			if v.Compare(cut) < 0 {
+				return i
+			}
+		}
+		return len(g.shards) - 1
+	}
+	return hashRoute(v, len(g.shards))
+}
+
+// Sync routes base rows appended since the last Sync to their shards,
+// preserving base order within each shard. It runs implicitly before
+// every scatter, so queries always see the full table.
+func (g *Group) Sync() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.shards) == 1 {
+		// The single shard references base directly; nothing to copy.
+		g.routed = g.base.NumRows()
+		return nil
+	}
+	snap := g.base.Snapshot()
+	n := snap.NumRows()
+	if g.routed >= n {
+		return nil
+	}
+	batches := make([][][]storage.Value, len(g.shards))
+	for i := g.routed; i < n; i++ {
+		row := snap.Row(i)
+		key := row[g.keyIdx]
+		dst := g.route(key)
+		batches[dst] = append(batches[dst], row)
+		if g.key.Kind == KeyRange {
+			g.shards[dst].extendBounds(key)
+		}
+	}
+	for i, rows := range batches {
+		if len(rows) == 0 {
+			continue
+		}
+		if err := g.shards[i].table.AppendRows(rows); err != nil {
+			return fmt.Errorf("shard: sync %s shard %d: %w", g.name, i, err)
+		}
+	}
+	g.routed = n
+	return nil
+}
+
+// Name returns the base table name the group shards.
+func (g *Group) Name() string { return g.name }
+
+// Key returns the partitioning declaration.
+func (g *Group) Key() Key { return g.key }
+
+// NumShards returns the shard count.
+func (g *Group) NumShards() int { return len(g.shards) }
+
+// Shards returns the member shards in index order.
+func (g *Group) Shards() []Shard {
+	out := make([]Shard, len(g.shards))
+	for i, s := range g.shards {
+		out[i] = s
+	}
+	return out
+}
+
+// Rows returns the total (base) row count.
+func (g *Group) Rows() int { return g.base.NumRows() }
+
+// SetObserver installs a callback invoked once per shard per scatter with
+// the shard's outcome; the server uses it for per-shard metrics.
+func (g *Group) SetObserver(fn func(Event)) {
+	g.mu.Lock()
+	g.obs = fn
+	g.mu.Unlock()
+}
+
+func (g *Group) observe(ev Event) {
+	g.mu.Lock()
+	fn := g.obs
+	g.mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// BuildSamples (re)materializes every shard's own uniform sample at the
+// given rate; each shard's seed is derived independently.
+func (g *Group) BuildSamples(rate float64, seed int64) error {
+	if err := g.Sync(); err != nil {
+		return err
+	}
+	for _, s := range g.shards {
+		if err := s.Rebuild(rate, seed); err != nil {
+			return fmt.Errorf("shard: sample for %s shard %d: %w", g.name, s.id, err)
+		}
+	}
+	return nil
+}
+
+// Health reports every shard's health, with breaker state stamped on.
+func (g *Group) Health() []Health {
+	out := make([]Health, len(g.shards))
+	for i, s := range g.shards {
+		h := s.Health()
+		h.Open = g.breakers[i].State() != fault.BreakerClosed
+		h.Trips = g.breakers[i].Trips()
+		out[i] = h
+	}
+	return out
+}
+
+// Summary reports the group's static shape.
+func (g *Group) Summary() GroupSummary {
+	rows := make([]int, len(g.shards))
+	for i, s := range g.shards {
+		rows[i] = s.Rows()
+	}
+	return GroupSummary{Table: g.name, Count: len(g.shards), Key: g.key.String(), RowsPerShard: rows}
+}
+
+// Map is a registry of shard groups keyed by table name. A nil *Map is a
+// valid empty registry, so engines can hold one unconditionally.
+type Map struct {
+	mu     sync.Mutex
+	groups map[string]*Group
+}
+
+// NewMap builds an empty registry.
+func NewMap() *Map { return &Map{groups: map[string]*Group{}} }
+
+// Add registers a group under its table name.
+func (m *Map) Add(g *Group) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.groups[g.Name()]; ok {
+		return fmt.Errorf("shard: table %s is already sharded", g.Name())
+	}
+	m.groups[g.Name()] = g
+	return nil
+}
+
+// Get returns the group for a table, or nil (also on a nil receiver).
+func (m *Map) Get(table string) *Group {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.groups[table]
+}
+
+// Names lists the sharded tables, sorted.
+func (m *Map) Names() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.groups))
+	for n := range m.groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summaries reports every group's shape, ordered by table name.
+func (m *Map) Summaries() []GroupSummary {
+	var out []GroupSummary
+	for _, n := range m.Names() {
+		out = append(out, m.Get(n).Summary())
+	}
+	return out
+}
+
+// SetObserver installs the observer on every current group.
+func (m *Map) SetObserver(fn func(Event)) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range m.groups {
+		g.SetObserver(fn)
+	}
+}

@@ -1,0 +1,356 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/fault"
+	"repro/internal/plan"
+	"repro/internal/sample"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// Event is one shard's outcome in one scatter, delivered to the group
+// observer (server metrics).
+type Event struct {
+	Table string
+	Shard int
+	// Type is "ok", "fail", "open" (breaker rejected), or "pruned".
+	Type string
+}
+
+// ExecOptions tunes one scatter execution.
+type ExecOptions struct {
+	// Workers is the total worker budget, divided evenly across shards
+	// (each shard gets at least one).
+	Workers int
+	// Sample, when non-nil, is the sampler spec to push onto every
+	// shard's scan; each shard's copy gets an independently derived seed.
+	// Nil runs the shards exact (any statement-level TABLESAMPLE is
+	// cleared, matching the exact engine).
+	Sample *sample.Spec
+	// AllowDegraded lets the query succeed on surviving shards when some
+	// fail; false fails the whole query on the first shard error.
+	AllowDegraded bool
+	// StragglerTimeout, when > 0, abandons any shard that has not
+	// finished within it, treating the shard as failed.
+	StragglerTimeout time.Duration
+}
+
+// ShardOutcome is one shard's result in a ScatterResult.
+type ShardOutcome struct {
+	ID     int
+	Rows   int
+	Status string // "ok", "fail", "open", "pruned"
+	Err    error
+}
+
+// ScatterResult is the gathered outcome of a scatter execution.
+type ScatterResult struct {
+	// Partial is the merged partial state of all surviving shards, ready
+	// for exec.FinalizeAggPartial.
+	Partial  *exec.AggPartial
+	Outcomes []ShardOutcome
+	// TotalRows is the group population; CoveredRows the population of
+	// shards that contributed (succeeded or were provably empty of
+	// matches, i.e. pruned).
+	TotalRows   int
+	CoveredRows int
+	// Failed and Pruned list shard IDs by outcome.
+	Failed []int
+	Pruned []int
+}
+
+// Degraded reports whether any shard failed to contribute.
+func (r *ScatterResult) Degraded() bool { return len(r.Failed) > 0 }
+
+// Scatter executes the statement's aggregate subtree on every shard
+// concurrently and gathers the partials in shard-index order. Sampler
+// seeds are derived per shard so cross-shard inclusion decisions are
+// independent; range groups additionally prune shards whose key bounds
+// cannot satisfy a range predicate on the shard key. Per-shard circuit
+// breakers reject work while open, and panics inside a shard (including
+// injected ones) are contained to that shard's outcome.
+func (g *Group) Scatter(ctx context.Context, stmt *sqlparse.SelectStmt, opt ExecOptions) (*ScatterResult, error) {
+	if len(stmt.Joins) > 0 {
+		return nil, fmt.Errorf("shard: scatter does not support joins")
+	}
+	if !stmt.HasAggregates() {
+		return nil, fmt.Errorf("shard: scatter requires an aggregate query")
+	}
+	if err := g.Sync(); err != nil {
+		return nil, err
+	}
+
+	n := len(g.shards)
+	per := opt.Workers / n
+	if per < 1 {
+		per = 1
+	}
+
+	res := &ScatterResult{Outcomes: make([]ShardOutcome, n)}
+	plans := make([]plan.Node, n)
+	skip := make([]string, n) // non-"" = skipped with this status
+	lo, hi := keyInterval(stmt.Where, g.key.Column)
+	for i, sh := range g.shards {
+		res.TotalRows += sh.Rows()
+		res.Outcomes[i] = ShardOutcome{ID: i, Rows: sh.Rows()}
+		if g.key.Kind == KeyRange && n > 1 && pruned(sh, lo, hi) {
+			skip[i] = "pruned"
+			continue
+		}
+		if !g.breakers[i].Allow() {
+			skip[i] = "open"
+			continue
+		}
+		p, err := g.shardPlan(stmt, sh, opt.Sample)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+
+	sp, sctx := trace.StartSpan(ctx, fmt.Sprintf("scatter %s (%d shards)", g.name, n))
+	sp.SetAttr("key", g.key.String())
+	defer sp.End()
+
+	// Pre-create per-shard spans in index order so profiles are stable.
+	spans := make([]*trace.Span, n)
+	for i := range g.shards {
+		spans[i] = sp.StartChild(fmt.Sprintf("shard %d (%d rows)", i, g.shards[i].Rows()))
+	}
+
+	parts := make([]*exec.AggPartial, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range g.shards {
+		if skip[i] != "" {
+			spans[i].SetAttr("skipped", skip[i])
+			spans[i].End()
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer spans[i].End()
+			parts[i], errs[i] = g.runShard(sctx, i, plans[i], per, opt.StragglerTimeout)
+		}(i)
+	}
+	wg.Wait()
+
+	// Gather in shard-index order: breaker and observer bookkeeping, then
+	// the ordered merge (which IS the stratified composition).
+	for i, sh := range g.shards {
+		o := &res.Outcomes[i]
+		switch {
+		case skip[i] == "pruned":
+			o.Status = "pruned"
+			res.Pruned = append(res.Pruned, i)
+			res.CoveredRows += sh.Rows() // provably holds no matching rows
+		case skip[i] == "open":
+			o.Status = "open"
+			res.Failed = append(res.Failed, i)
+		case errs[i] != nil:
+			o.Status, o.Err = "fail", errs[i]
+			g.breakers[i].Record(false)
+			res.Failed = append(res.Failed, i)
+		default:
+			o.Status = "ok"
+			g.breakers[i].Record(true)
+			res.CoveredRows += sh.Rows()
+		}
+		g.observe(Event{Table: g.name, Shard: i, Type: o.Status})
+	}
+
+	if len(res.Failed) > 0 && !opt.AllowDegraded {
+		for _, i := range res.Failed {
+			if res.Outcomes[i].Err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, res.Outcomes[i].Err)
+			}
+		}
+		return nil, fmt.Errorf("shard: %d shard(s) unavailable (breaker open)", len(res.Failed))
+	}
+	res.Partial = exec.MergeAggPartials(parts)
+	if res.Partial == nil {
+		if len(res.Pruned) > 0 && len(res.Failed) == 0 {
+			// Every shard was provably empty of matches; the query still
+			// has a well-defined (empty-input) result.
+			res.Partial = exec.EmptyAggPartial()
+		} else {
+			return nil, fmt.Errorf("shard: no shard of %s produced a result (%s)", g.name, joinErrs(errs))
+		}
+	}
+	sp.SetAttrInt("covered_rows", int64(res.CoveredRows))
+	sp.SetAttrInt("failed", int64(len(res.Failed)))
+	return res, nil
+}
+
+// runShard executes one shard's estimate, containing panics and applying
+// the straggler deadline.
+func (g *Group) runShard(ctx context.Context, i int, p plan.Node, workers int, deadline time.Duration) (*exec.AggPartial, error) {
+	sh := g.shards[i]
+	run := func() (part *exec.AggPartial, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fault.AsError(r)
+			}
+		}()
+		return sh.Estimate(ctx, p, workers)
+	}
+	if deadline <= 0 {
+		return run()
+	}
+	type out struct {
+		part *exec.AggPartial
+		err  error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		p, e := run()
+		ch <- out{p, e}
+	}()
+	select {
+	case o := <-ch:
+		return o.part, o.err
+	case <-time.After(deadline):
+		return nil, fmt.Errorf("shard %d: straggler deadline %v exceeded", i, deadline)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// shardPlan builds the statement's plan against a single shard's table
+// (registered under the group name, so the statement resolves unchanged)
+// and stamps the sampler with the shard-derived seed.
+func (g *Group) shardPlan(stmt *sqlparse.SelectStmt, sh *LocalShard, smp *sample.Spec) (plan.Node, error) {
+	cat := storage.NewCatalog()
+	if err := cat.AddAs(g.name, sh.Scan()); err != nil {
+		return nil, err
+	}
+	p, err := plan.Build(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	scans := plan.Scans(p)
+	if smp == nil {
+		plan.ClearSamplers(p)
+		return p, nil
+	}
+	spec := *smp
+	spec.Seed = DeriveSeed(smp.Seed, sh.ID())
+	for _, s := range scans {
+		s.Sample = &spec
+	}
+	return p, nil
+}
+
+// keyInterval extracts the [lo, hi] constraint a WHERE clause places on
+// col through its top-level AND conjuncts (bounds are kept inclusive, so
+// pruning is conservative). Either bound may be null = unconstrained.
+func keyInterval(where expr.Expr, col string) (lo, hi storage.Value) {
+	if where == nil || col == "" {
+		return
+	}
+	var conjuncts []expr.Expr
+	var collect func(e expr.Expr)
+	collect = func(e expr.Expr) {
+		if b, ok := e.(*expr.Binary); ok && b.Op == expr.OpAnd {
+			collect(b.L)
+			collect(b.R)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	collect(where)
+	tighten := func(dst *storage.Value, v storage.Value, upper bool) {
+		if dst.IsNull() || (upper && v.Compare(*dst) < 0) || (!upper && v.Compare(*dst) > 0) {
+			*dst = v
+		}
+	}
+	for _, c := range conjuncts {
+		b, ok := c.(*expr.Binary)
+		if !ok || !b.Op.Comparison() {
+			continue
+		}
+		cr, lit, flipped := compareParts(b)
+		if cr == nil || !strings.EqualFold(cr.Name, col) || lit.IsNull() {
+			continue
+		}
+		op := b.Op
+		if flipped { // 5 < col  ≡  col > 5
+			switch op {
+			case expr.OpLt:
+				op = expr.OpGt
+			case expr.OpLe:
+				op = expr.OpGe
+			case expr.OpGt:
+				op = expr.OpLt
+			case expr.OpGe:
+				op = expr.OpLe
+			}
+		}
+		switch op {
+		case expr.OpEq:
+			tighten(&lo, lit, false)
+			tighten(&hi, lit, true)
+		case expr.OpLt, expr.OpLe:
+			tighten(&hi, lit, true)
+		case expr.OpGt, expr.OpGe:
+			tighten(&lo, lit, false)
+		}
+	}
+	return lo, hi
+}
+
+// compareParts splits a comparison into its column and literal sides,
+// reporting whether the literal was on the left.
+func compareParts(b *expr.Binary) (cr *expr.ColRef, lit storage.Value, flipped bool) {
+	if c, ok := b.L.(*expr.ColRef); ok {
+		if l, ok := b.R.(*expr.Lit); ok {
+			return c, l.Val, false
+		}
+	}
+	if c, ok := b.R.(*expr.ColRef); ok {
+		if l, ok := b.L.(*expr.Lit); ok {
+			return c, l.Val, true
+		}
+	}
+	return nil, storage.Value{}, false
+}
+
+// pruned reports whether the shard's observed key bounds fall entirely
+// outside the predicate interval — the shard provably holds no matching
+// rows and is skipped as covered, not degraded.
+func pruned(sh *LocalShard, lo, hi storage.Value) bool {
+	min, max, ok := sh.bounds()
+	if !ok {
+		return false
+	}
+	if !lo.IsNull() && max.Compare(lo) < 0 {
+		return true
+	}
+	if !hi.IsNull() && min.Compare(hi) > 0 {
+		return true
+	}
+	return false
+}
+
+func joinErrs(errs []error) string {
+	var parts []string
+	for i, e := range errs {
+		if e != nil {
+			parts = append(parts, fmt.Sprintf("shard %d: %v", i, e))
+		}
+	}
+	if len(parts) == 0 {
+		return "no shards ran"
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,268 @@
+// Package shard partitions a table into independent shards and executes
+// aggregate queries over them scatter-gather: each shard runs the query's
+// aggregate subtree against its own rows (and its own independently seeded
+// sample), returning a mergeable partial state; the gather step folds the
+// partials in shard order — which is exactly lossless stratified
+// composition of the per-shard Horvitz–Thompson estimators — and finalizes
+// once. Each shard fails, degrades, and recovers alone: a per-shard fault
+// point and circuit breaker contain one bad shard's blast radius to its
+// own stratum, and the gather step extrapolates the survivors honestly
+// when the sharding key makes that statistically sound.
+//
+// The Shard interface is deliberately narrow (Scan/Estimate/Rebuild/
+// Health) so the in-process implementation here can later be joined by a
+// network transport without touching the scatter executor.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/plan"
+	"repro/internal/sample"
+	"repro/internal/storage"
+)
+
+// KeyKind selects how rows are routed to shards.
+type KeyKind uint8
+
+// Sharding key kinds.
+const (
+	// KeyHash routes each row by a hash of its key value: rows are spread
+	// uniformly, so any subset of shards is an unbiased window on the
+	// table and lost shards can be extrapolated over.
+	KeyHash KeyKind = iota
+	// KeyRange routes each row by its key's position among quantile cut
+	// points computed at partition time: shards hold contiguous key
+	// ranges, enabling shard pruning for range predicates — but a lost
+	// shard is a systematic gap that must never be extrapolated over.
+	KeyRange
+)
+
+// String names the kind.
+func (k KeyKind) String() string {
+	if k == KeyRange {
+		return "range"
+	}
+	return "hash"
+}
+
+// ParseKeyKind parses "hash" or "range".
+func ParseKeyKind(s string) (KeyKind, error) {
+	switch s {
+	case "hash", "":
+		return KeyHash, nil
+	case "range":
+		return KeyRange, nil
+	}
+	return KeyHash, fmt.Errorf("shard: unknown key kind %q (want hash or range)", s)
+}
+
+// Key declares how a table is partitioned.
+type Key struct {
+	// Column is the sharding key column. Optional when Count == 1 (a
+	// single shard holds everything and needs no routing).
+	Column string
+	// Kind selects hash or range routing.
+	Kind KeyKind
+	// Count is the number of shards (>= 1).
+	Count int
+}
+
+// String renders the key for diagnostics.
+func (k Key) String() string {
+	if k.Count <= 1 {
+		return "single"
+	}
+	return fmt.Sprintf("%s(%s)/%d", k.Kind, k.Column, k.Count)
+}
+
+// Health is one shard's liveness summary.
+type Health struct {
+	ID   int `json:"id"`
+	Rows int `json:"rows"`
+	// Open reports whether the shard's circuit breaker currently rejects
+	// traffic.
+	Open bool `json:"open"`
+	// Trips is how many times the breaker has tripped since creation.
+	Trips int64 `json:"trips"`
+	// SampleRows is the size of the shard's materialized sample (0 when
+	// none has been built).
+	SampleRows int `json:"sample_rows"`
+	// SampleFresh reports whether the materialized sample was built at the
+	// shard's current version (vacuously false when none exists).
+	SampleFresh bool `json:"sample_fresh"`
+}
+
+// Shard is one independent partition of a table. Implementations must be
+// safe for concurrent Estimate calls; the in-process LocalShard is the
+// only implementation today, with the interface sized so a network
+// transport can slot in behind the same scatter executor later.
+type Shard interface {
+	// ID is the shard's index within its group.
+	ID() int
+	// Rows is the shard's current population size.
+	Rows() int
+	// Scan returns the shard's table for planning and scanning.
+	Scan() *storage.Table
+	// Estimate executes the plan's aggregate subtree against this shard
+	// and returns the mergeable partial state.
+	Estimate(ctx context.Context, p plan.Node, workers int) (*exec.AggPartial, error)
+	// Rebuild (re)materializes the shard's own uniform sample at the given
+	// rate, with its seed derived per shard so cross-shard samples stay
+	// independent.
+	Rebuild(rate float64, seed int64) error
+	// Health reports the shard's population and containment state.
+	Health() Health
+}
+
+// LocalShard is the in-process Shard: a slice of the base table held as
+// its own *storage.Table, with a per-shard fault injection point and an
+// optionally materialized per-shard sample.
+type LocalShard struct {
+	id    int
+	table *storage.Table
+	point *fault.Point
+
+	mu      sync.Mutex
+	smp     *sample.StratifiedResult
+	smpSeed int64
+	// minKey/maxKey bound the observed shard-key values (range sharding
+	// only); used by the scatter executor to prune shards that cannot
+	// contain rows matching a range predicate on the key.
+	minKey, maxKey storage.Value
+	hasBounds      bool
+}
+
+func newLocalShard(id int, table *storage.Table) *LocalShard {
+	return &LocalShard{
+		id:    id,
+		table: table,
+		point: fault.NewPoint(fmt.Sprintf("shard.estimate.%d", id),
+			"per-shard estimate execution (scatter fan-out)"),
+	}
+}
+
+// ID implements Shard.
+func (s *LocalShard) ID() int { return s.id }
+
+// Rows implements Shard.
+func (s *LocalShard) Rows() int { return s.table.NumRows() }
+
+// Scan implements Shard.
+func (s *LocalShard) Scan() *storage.Table { return s.table }
+
+// Estimate implements Shard.
+func (s *LocalShard) Estimate(ctx context.Context, p plan.Node, workers int) (*exec.AggPartial, error) {
+	if err := s.point.Inject(); err != nil {
+		return nil, err
+	}
+	return exec.RunAggPartialContext(ctx, p, workers)
+}
+
+// Rebuild implements Shard.
+func (s *LocalShard) Rebuild(rate float64, seed int64) error {
+	res, err := sample.BuildUniformTable(s.table, rate, DeriveSeed(seed, s.id),
+		fmt.Sprintf("%s__sample", s.table.Name()))
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.smp = res
+	s.smpSeed = seed
+	s.mu.Unlock()
+	return nil
+}
+
+// Sample returns the shard's materialized sample, or nil.
+func (s *LocalShard) Sample() *sample.StratifiedResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.smp
+}
+
+// Health implements Shard. Breaker state is stamped on by the owning
+// Group, which holds the breakers.
+func (s *LocalShard) Health() Health {
+	h := Health{ID: s.id, Rows: s.table.NumRows()}
+	s.mu.Lock()
+	if s.smp != nil {
+		h.SampleRows = s.smp.SampleRows
+		h.SampleFresh = s.smp.BuildVersion == s.table.Version()
+	}
+	s.mu.Unlock()
+	return h
+}
+
+// bounds returns the observed [min, max] of the shard key, if tracked.
+func (s *LocalShard) bounds() (lo, hi storage.Value, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.minKey, s.maxKey, s.hasBounds
+}
+
+func (s *LocalShard) extendBounds(v storage.Value) {
+	if v.IsNull() {
+		return
+	}
+	s.mu.Lock()
+	if !s.hasBounds {
+		s.minKey, s.maxKey, s.hasBounds = v, v, true
+	} else {
+		if v.Compare(s.minKey) < 0 {
+			s.minKey = v
+		}
+		if v.Compare(s.maxKey) > 0 {
+			s.maxKey = v
+		}
+	}
+	s.mu.Unlock()
+}
+
+// DeriveSeed maps a query- or build-level seed to a shard-local one.
+// Shard 0 keeps the seed unchanged so a single-shard group reproduces the
+// unsharded engine bit for bit; other shards get a splitmix64-mixed seed,
+// making sampling decisions independent across shards. Independence is
+// what keeps composed CIs honest: with a shared seed, shards would make
+// correlated inclusion decisions at equal local row indices, and the
+// cross-shard covariance the stratified composition assumes away would be
+// nonzero.
+func DeriveSeed(seed int64, shardID int) int64 {
+	if shardID == 0 {
+		return seed
+	}
+	x := uint64(seed) ^ (uint64(shardID) * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// hashRoute assigns a key value to one of n hash shards. FNV-1a over the
+// value's canonical group key, finished with splitmix64 so consecutive
+// integer keys don't land in consecutive shards.
+func hashRoute(v storage.Value, n int) int {
+	if v.IsNull() {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range []byte(v.GroupKey()) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(n))
+}
