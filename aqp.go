@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/contract"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/fault"
@@ -74,6 +75,13 @@ type (
 	OfflineConfig = core.OfflineConfig
 	// OLAConfig tunes online aggregation.
 	OLAConfig = core.OLAConfig
+	// ContractConfig tunes two-stage a-priori error-contract execution.
+	ContractConfig = core.ContractConfig
+	// ContractSummary records a contract execution's pilot sizing, cost,
+	// and verdict (Result.Diagnostics.Contract).
+	ContractSummary = contract.Summary
+	// ContractVerdict is the met/missed/infeasible outcome of a contract.
+	ContractVerdict = contract.Verdict
 	// Profile is a structured per-query execution profile (span tree).
 	Profile = trace.Profile
 	// ShardKey declares how a table is partitioned into shards.
@@ -96,6 +104,22 @@ const (
 
 // ParseShardKind parses a shard-kind name: "hash" (or "") or "range".
 func ParseShardKind(s string) (shard.KeyKind, error) { return shard.ParseKeyKind(s) }
+
+// Contract verdicts and the refusal flag.
+const (
+	// ContractMet: stage two ran at the sized fraction and the realized
+	// error is at or below the target.
+	ContractMet = contract.VerdictMet
+	// ContractMissed: the realized error exceeded the target, or the run
+	// degraded mid-flight.
+	ContractMissed = contract.VerdictMissed
+	// ContractInfeasible: the target is provably unreachable within the
+	// admission budget; the answer is best-effort a-posteriori.
+	ContractInfeasible = contract.VerdictInfeasible
+	// ContractInfeasibleFlag is the diagnostics message token attached to
+	// refused contracts.
+	ContractInfeasibleFlag = contract.InfeasibleFlag
+)
 
 // Column types.
 const (
@@ -170,6 +194,12 @@ func WithOLAConfig(cfg OLAConfig) Option {
 	return func(db *DB) { db.olaCfg = cfg }
 }
 
+// WithContractConfig overrides the two-stage contract configuration
+// (pilot fraction, admission budget, variance confidence).
+func WithContractConfig(cfg ContractConfig) Option {
+	return func(db *DB) { db.contractCfg = cfg }
+}
+
 // WithParallelism sets the default morsel-parallel worker count for every
 // engine. 0 (the default) defers to a per-query context override, a plan
 // hint, or runtime.GOMAXPROCS; 1 forces serial execution. Results are
@@ -180,11 +210,12 @@ func WithParallelism(workers int) Option {
 
 // DB is the top-level handle: a catalog plus the engine suite.
 type DB struct {
-	catalog    *storage.Catalog
-	onlineCfg  OnlineConfig
-	offlineCfg OfflineConfig
-	olaCfg     OLAConfig
-	workers    int
+	catalog     *storage.Catalog
+	onlineCfg   OnlineConfig
+	offlineCfg  OfflineConfig
+	olaCfg      OLAConfig
+	contractCfg ContractConfig
+	workers     int
 
 	exact    *core.ExactEngine
 	online   *core.OnlineEngine
@@ -204,10 +235,11 @@ func New(opts ...Option) *DB {
 // generator).
 func Open(cat *storage.Catalog, opts ...Option) *DB {
 	db := &DB{
-		catalog:    cat,
-		onlineCfg:  core.DefaultOnlineConfig(),
-		offlineCfg: core.DefaultOfflineConfig(),
-		olaCfg:     core.DefaultOLAConfig(),
+		catalog:     cat,
+		onlineCfg:   core.DefaultOnlineConfig(),
+		offlineCfg:  core.DefaultOfflineConfig(),
+		olaCfg:      core.DefaultOLAConfig(),
+		contractCfg: core.DefaultContractConfig(),
 	}
 	for _, o := range opts {
 		o(db)
@@ -481,6 +513,60 @@ func (db *DB) QueryOLAContext(ctx context.Context, sql string, spec ErrorSpec) (
 	})
 }
 
+// QueryContract runs the query under an a-priori error contract on the
+// online engine: a pilot run sizes the stage-two sampling fraction that
+// makes the realized CI land at or below the target, stage two runs at
+// that fraction, and Diagnostics.Contract records the sizing and the
+// met/missed/infeasible verdict. A `WITH ERROR e% CONFIDENCE c%` clause
+// overrides spec — that clause is the contract syntax. Targets provably
+// unreachable within the admission budget are refused honestly: the
+// result degrades to a best-effort a-posteriori CI and the diagnostics
+// carry ContractInfeasibleFlag.
+func (db *DB) QueryContract(sql string, spec ...ErrorSpec) (*Result, error) {
+	return db.QueryContractContext(context.Background(), sql, spec...)
+}
+
+// QueryContractContext is QueryContract under a context.
+func (db *DB) QueryContractContext(ctx context.Context, sql string, spec ...ErrorSpec) (*Result, error) {
+	return db.QueryContractOnContext(ctx, TechniqueOnline, sql, spec...)
+}
+
+// QueryContractOn is QueryContract pinned to a specific engine:
+// TechniqueOnline (Bernoulli two-stage), TechniqueOLA (Stein-style
+// two-stage prefix sampling on one seeded permutation), or
+// TechniqueOffline (two transient uniform samples drawn from the base
+// table). Other techniques are rejected.
+func (db *DB) QueryContractOn(tech Technique, sql string, spec ...ErrorSpec) (*Result, error) {
+	return db.QueryContractOnContext(context.Background(), tech, sql, spec...)
+}
+
+// QueryContractOnContext is QueryContractOn under a context.
+func (db *DB) QueryContractOnContext(ctx context.Context, tech Technique, sql string, spec ...ErrorSpec) (*Result, error) {
+	s := DefaultErrorSpec
+	if len(spec) > 0 {
+		s = spec[0]
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Error != nil {
+		s = ErrorSpec{RelError: stmt.Error.RelError, Confidence: stmt.Error.Confidence}
+	}
+	return db.runStatement(ctx, stmt, func(ctx context.Context) (*Result, error) {
+		switch tech {
+		case TechniqueOnline:
+			return db.online.ExecuteContract(ctx, stmt, s, db.contractCfg)
+		case TechniqueOLA:
+			return db.ola.ExecuteContract(ctx, stmt, s, db.contractCfg)
+		case TechniqueOffline:
+			return db.offline.ExecuteContract(ctx, stmt, s, db.contractCfg)
+		default:
+			return nil, fmt.Errorf("aqp: technique %s does not support error contracts", tech)
+		}
+	})
+}
+
 // QuerySynopsis answers the query from precomputed synopses alone
 // (histogram/HLL/CMS) in O(synopsis) time; queries outside the narrow
 // synopsis-answerable class fail rather than fall back.
@@ -623,6 +709,14 @@ func FormatResult(r *Result) string {
 	if sh := r.Diagnostics.Shards; sh != nil {
 		out += fmt.Sprintf("-- shards=%d key=%s coverage=%.4f degraded=%d pruned=%d extrapolated=%v\n",
 			sh.Count, sh.Key, sh.CoverageFraction, len(sh.Degraded), len(sh.Pruned), sh.Extrapolated)
+	}
+	// Contract line only for contract executions: ordinary output is
+	// byte-identical to what this function produced before contracts.
+	if c := r.Diagnostics.Contract; c != nil {
+		out += fmt.Sprintf("-- contract verdict=%s target=%.4g realized=%.4g pilot=%d rows (%.4g) final=%d rows (%.4g) required=%.4g budget=%.4g\n",
+			c.Verdict, c.TargetRelError, c.RealizedRelError,
+			c.PilotRows, c.PilotFraction, c.FinalRows, c.FinalFraction,
+			c.RequiredFraction, c.BudgetFraction)
 	}
 	return out
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/server"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -67,6 +69,7 @@ func main() {
 		auditSm = flag.Bool("audit", false, "run the accuracy-audit smoke: serve sampled queries, drain the audit lane, fail on backlog or errors")
 		chaosSm = flag.Bool("chaos", false, "run the chaos gate: serve queries under injected panics/errors, fail on process death, un-flagged degraded responses, invalid CIs, or baseline drift")
 		shardSw = flag.Bool("shards", false, "run the shard sweep: scatter-gather latency and CI width at 1/2/4/8 shards")
+		contrSw = flag.Bool("contract", false, "run the contract sweep: pilot-sized two-stage runs per engine at 1/2/5% targets, fail if the held rate falls confidently below the stated confidence")
 	)
 	flag.Parse()
 
@@ -100,6 +103,13 @@ func main() {
 	if *shardSw {
 		if err := runShardSweep(*rows, *trials, *seed, *workers, *jsonOut, *outDir); err != nil {
 			fmt.Fprintf(os.Stderr, "aqpbench: shard sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *contrSw {
+		if err := runContractSweep(*rows, *trials, *seed, *workers, *jsonOut, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: contract sweep: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -440,6 +450,15 @@ func runChaosGate(rows int, seed int64) error {
 // realized relative CI half-width of the stratified composition. The
 // single-shard row doubles as the overhead floor — it runs the scatter
 // path over the base table itself.
+//
+// One dataset is generated once from the base seed and every row of the
+// sweep runs against it with the same pinned engine seed, so the
+// CI-width column varies only with the shard count — per-shard seeds are
+// derived deterministically from the one base seed — and
+// results/bench_shards.json is reproducible run-to-run. Widths are
+// medians over the trials (they are bit-identical across trials under a
+// pinned seed; the median guards against that invariant silently
+// breaking rather than reporting whichever trial ran last).
 func runShardSweep(rows, trials int, seed int64, workers int, jsonOut bool, outDir string) error {
 	const sql = "SELECT SUM(ev_value) AS s FROM events"
 	if trials > 10 {
@@ -461,6 +480,7 @@ func runShardSweep(rows, trials int, seed int64, workers int, jsonOut bool, outD
 			fmt.Sprintf("events rows=%d trials=%d seed=%d query=%q", rows, trials, seed, sql),
 			"shards=0 is the unsharded baseline; shards=1 adds only scatter overhead",
 			"rel_ci_width is the realized relative CI half-width of the online estimate",
+			"one dataset and one pinned engine seed across the whole sweep; widths are medians over trials",
 		},
 	}
 
@@ -468,13 +488,17 @@ func runShardSweep(rows, trials int, seed int64, workers int, jsonOut bool, outD
 		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 		return float64(ds[len(ds)/2].Microseconds()) / 1e3
 	}
+	medianF := func(fs []float64) float64 {
+		sort.Float64s(fs)
+		return fs[len(fs)/2]
+	}
 
+	ev, err := workload.GenerateEvents(workload.EventsConfig{
+		Seed: seed, Rows: rows, NumGroups: 16, Skew: 0.8})
+	if err != nil {
+		return err
+	}
 	for _, n := range []int{0, 1, 2, 4, 8} {
-		ev, err := workload.GenerateEvents(workload.EventsConfig{
-			Seed: seed, Rows: rows, NumGroups: 16, Skew: 0.8})
-		if err != nil {
-			return err
-		}
 		db := aqp.Open(ev.Catalog, aqp.WithOnlineConfig(core.OnlineConfig{
 			DefaultRate: 0.1, MinTableRows: 1, Seed: seed}))
 		if n > 0 {
@@ -485,7 +509,7 @@ func runShardSweep(rows, trials int, seed int64, workers int, jsonOut bool, outD
 		}
 
 		var exactLat, onlineLat []time.Duration
-		var width, coverage float64
+		var widths, coverages []float64
 		spec := aqp.ErrorSpec{RelError: 0.5, Confidence: 0.95}
 		for trial := 0; trial < trials; trial++ {
 			start := time.Now()
@@ -500,18 +524,19 @@ func runShardSweep(rows, trials int, seed int64, workers int, jsonOut bool, outD
 				return fmt.Errorf("shards=%d online: %w", n, err)
 			}
 			onlineLat = append(onlineLat, time.Since(start))
-			width = res.MaxRelHalfWidth()
-			coverage = 1
+			widths = append(widths, res.MaxRelHalfWidth())
+			coverage := 1.0
 			if sh := res.Diagnostics.Shards; sh != nil {
 				coverage = sh.CoverageFraction
 			}
+			coverages = append(coverages, coverage)
 		}
 		tab.Rows = append(tab.Rows, []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.3f", median(exactLat)),
 			fmt.Sprintf("%.3f", median(onlineLat)),
-			fmt.Sprintf("%.4f", width),
-			fmt.Sprintf("%.4f", coverage),
+			fmt.Sprintf("%.4f", medianF(widths)),
+			fmt.Sprintf("%.4f", medianF(coverages)),
 		})
 	}
 
@@ -522,6 +547,124 @@ func runShardSweep(rows, trials int, seed int64, workers int, jsonOut bool, outD
 		}
 		scale := experiments.Scale{Rows: rows, Trials: trials, Seed: seed, Workers: workers}
 		return writeJSON(outDir, tab, scale, 0)
+	}
+	return nil
+}
+
+// runContractSweep is the a-priori contract release gate: for each
+// sampling engine × error target it runs pilot-sized two-stage contract
+// queries over freshly seeded engines (one derived seed per trial, all
+// pinned to the base seed) and checks every "met" verdict against the
+// exact answer. The gate fails — exit nonzero — when the held rate falls
+// confidently below the stated confidence: Wilson upper bound of the
+// hold rate under 95% means broken contracts have exceeded their
+// 1−confidence allowance beyond what sampling noise explains.
+func runContractSweep(rows, trials int, seed int64, workers int, jsonOut bool, outDir string) error {
+	const conf = 0.95
+	if rows < 2000 {
+		rows = 2000
+	}
+	if trials < 10 {
+		trials = 10
+	}
+	if trials > 200 {
+		trials = 200
+	}
+	sql := fmt.Sprintf("SELECT SUM(ev_value) FROM events WHERE ev_ts >= 0 AND ev_ts < %d", rows/2)
+	ctx := context.Background()
+	if workers > 0 {
+		ctx = exec.ContextWithWorkers(ctx, workers)
+	}
+
+	ev, err := workload.GenerateEvents(workload.EventsConfig{
+		Seed: seed, Rows: rows, NumGroups: 16, Skew: 0.8})
+	if err != nil {
+		return err
+	}
+	truthRes, err := aqp.Open(ev.Catalog).QueryContext(ctx, sql)
+	if err != nil {
+		return fmt.Errorf("ground truth: %w", err)
+	}
+	truth := truthRes.Float(0, 0)
+
+	tab := &experiments.Table{
+		ID:    "contract",
+		Title: "A-priori contract sweep: verdicts and held rate per engine and target",
+		Header: []string{"engine", "target", "trials", "met", "missed", "infeasible",
+			"held", "held_rate", "wilson_lo", "wilson_hi", "gate"},
+		Notes: []string{
+			fmt.Sprintf("events rows=%d trials=%d seed=%d conf=%g query=%q", rows, trials, seed, conf, sql),
+			"held = a met-verdict answer whose true relative error is within the target",
+			fmt.Sprintf("gate fails when Wilson hi of the held rate drops below the stated confidence %g", conf),
+		},
+	}
+
+	engines := []aqp.Technique{aqp.TechniqueOnline, aqp.TechniqueOLA, aqp.TechniqueOffline}
+	targets := []float64{0.01, 0.02, 0.05}
+	failed := false
+	for _, tech := range engines {
+		for _, target := range targets {
+			spec := aqp.ErrorSpec{RelError: target, Confidence: conf}
+			cov := stats.NewRollingCoverage(trials)
+			var met, missed, infeasible, held int
+			for trial := 0; trial < trials; trial++ {
+				tseed := seed + int64(trial)*1_000_003
+				db := aqp.Open(ev.Catalog,
+					aqp.WithOnlineConfig(core.OnlineConfig{DefaultRate: 0.5, MinTableRows: 1, Seed: tseed}),
+					aqp.WithOLAConfig(core.OLAConfig{Seed: tseed}),
+					aqp.WithOfflineConfig(core.OfflineConfig{Seed: tseed}))
+				res, err := db.QueryContractOnContext(ctx, tech, sql, spec)
+				if err != nil {
+					return fmt.Errorf("%s target=%g trial=%d: %w", tech, target, trial, err)
+				}
+				c := res.Diagnostics.Contract
+				if c == nil {
+					return fmt.Errorf("%s target=%g trial=%d: no contract stamped", tech, target, trial)
+				}
+				switch c.Verdict {
+				case aqp.ContractMet:
+					met++
+					ok := math.Abs(res.Float(0, 0)-truth) <= target*math.Abs(truth)
+					cov.Push(ok)
+					if ok {
+						held++
+					}
+				case aqp.ContractMissed:
+					missed++
+				case aqp.ContractInfeasible:
+					infeasible++
+				}
+			}
+			gate := "ok"
+			wil := stats.Interval{Lo: 0, Hi: 1}
+			if cov.N() > 0 {
+				wil = cov.Wilson(0.95)
+				if wil.Hi < conf {
+					gate = "FAIL"
+					failed = true
+				}
+			}
+			tab.Rows = append(tab.Rows, []string{
+				string(tech), fmt.Sprintf("%g", target), fmt.Sprintf("%d", trials),
+				fmt.Sprintf("%d", met), fmt.Sprintf("%d", missed), fmt.Sprintf("%d", infeasible),
+				fmt.Sprintf("%d", held), fmt.Sprintf("%.4f", cov.Rate()),
+				fmt.Sprintf("%.4f", wil.Lo), fmt.Sprintf("%.4f", wil.Hi), gate,
+			})
+		}
+	}
+
+	fmt.Println(tab)
+	if jsonOut {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		scale := experiments.Scale{Rows: rows, Trials: trials, Seed: seed, Workers: workers}
+		if err := writeJSON(outDir, tab, scale, 0); err != nil {
+			return err
+		}
+	}
+	if failed {
+		return fmt.Errorf("held rate confidently below the stated confidence %g for at least one engine × target", conf)
 	}
 	return nil
 }

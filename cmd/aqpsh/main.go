@@ -13,6 +13,8 @@
 //	\online <sql>               force query-time sampling
 //	\offline <sql>              force offline samples
 //	\ola <sql>                  force online aggregation (progressive)
+//	\contract [engine] <sql>    a-priori contract: pilot-sized two-stage run
+//	                            (engine: online, ola, or offline; default online)
 //	\prep <table> <col,col...>  build offline samples on a QCS
 //	\profile <sql>              profile a query shape for offline certification
 //	\synopsis <table> <col>     build histogram/HLL/CMS synopses
@@ -210,6 +212,31 @@ func meta(sh *shell, line string) bool {
 			return true
 		})
 		show(res, err)
+	case "\\contract":
+		// Pilot-sized two-stage execution: FormatResult appends the
+		// contract footer (verdict, sized fractions, pilot/final rows).
+		tech := aqp.TechniqueOnline
+		sql := rest
+		if len(fields) > 1 {
+			switch fields[1] {
+			case "online", "ola", "offline":
+				if fields[1] == "ola" {
+					tech = aqp.TechniqueOLA
+				} else if fields[1] == "offline" {
+					tech = aqp.TechniqueOffline
+				}
+				sql = strings.TrimSpace(strings.TrimPrefix(rest, fields[1]))
+			}
+		}
+		if strings.TrimSpace(sql) == "" {
+			fmt.Println("usage: \\contract [online|ola|offline] <sql WITH ERROR e% CONFIDENCE c%>")
+			return false
+		}
+		res, err := db.QueryContractOn(tech, sql)
+		show(res, err)
+		if err == nil {
+			sh.aud.Offer(res, sql)
+		}
 	case "\\prep":
 		if len(fields) < 3 {
 			fmt.Println("usage: \\prep <table> <col[,col...]>")

@@ -195,13 +195,17 @@ type Auditor struct {
 	arrivals map[string]uint64 // per-technique eligible-arrival counter
 	est      map[estKey]*estimator
 	tables   map[string]*tableState
-	busy     bool // worker is executing an audit
-	closed   bool
+	// contracts tracks the a-priori contract error budget per technique
+	// (see contract.go).
+	contracts map[string]*contractState
+	busy      bool // worker is executing an audit
+	closed    bool
 
 	offered, sampled, deduped, dropped int64
 	audited, errors, unmatched         int64
 	violations, panics                 int64
 	shardDegraded, shardDegradedMiss   int64
+	contractAudits, contractBroken     int64
 
 	lastTraces []string
 
@@ -215,16 +219,17 @@ type Auditor struct {
 // single-user tools want; servers pass their admission controller.
 func New(exec Executor, gate Gate, cfg Config) *Auditor {
 	a := &Auditor{
-		cfg:      cfg.withDefaults(),
-		exec:     exec,
-		gate:     gate,
-		seen:     make(map[string]struct{}),
-		arrivals: make(map[string]uint64),
-		est:      make(map[estKey]*estimator),
-		tables:   make(map[string]*tableState),
-		wake:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:       cfg.withDefaults(),
+		exec:      exec,
+		gate:      gate,
+		seen:      make(map[string]struct{}),
+		arrivals:  make(map[string]uint64),
+		est:       make(map[estKey]*estimator),
+		tables:    make(map[string]*tableState),
+		contracts: make(map[string]*contractState),
+		wake:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	go a.worker()
 	return a
@@ -597,6 +602,7 @@ func (a *Auditor) finish(j *job, truth *core.Result) {
 				Aggregate: it.aggregate, RelError: it.relErr, DegradedShards: degraded})
 			events = append(events, a.checkBudgetLocked(key, e)...)
 		}
+		events = append(events, a.recordContractLocked(j, cmp)...)
 		events = append(events, a.recordDriftLocked(j, truth, cmp)...)
 		a.busy = false
 	}()

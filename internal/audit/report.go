@@ -61,7 +61,14 @@ type Report struct {
 	ShardDegradedAudits int64 `json:"shard_degraded_audits,omitempty"`
 	ShardDegradedMisses int64 `json:"shard_degraded_misses,omitempty"`
 
+	// ContractAudits counts audited answers that carried a contract
+	// verdict; ContractBroken is how many "met" verdicts turned out to
+	// exceed their target error against ground truth.
+	ContractAudits int64 `json:"contract_audits,omitempty"`
+	ContractBroken int64 `json:"contract_broken,omitempty"`
+
 	Techniques []TechniqueCoverage `json:"techniques"`
+	Contracts  []ContractCoverage  `json:"contracts,omitempty"`
 	Tables     []TableReport       `json:"tables"`
 	LastTraces []string            `json:"last_traces,omitempty"`
 }
@@ -89,7 +96,14 @@ func (a *Auditor) Report() Report {
 
 		ShardDegradedAudits: a.shardDegraded,
 		ShardDegradedMisses: a.shardDegradedMiss,
+
+		ContractAudits: a.contractAudits,
+		ContractBroken: a.contractBroken,
 	}
+	r.Contracts = a.contractReportLocked()
+	sort.Slice(r.Contracts, func(i, j int) bool {
+		return r.Contracts[i].Technique < r.Contracts[j].Technique
+	})
 	if a.busy {
 		r.Backlog++
 	}
@@ -155,6 +169,20 @@ func (r Report) String() string {
 	if r.ShardDegradedAudits > 0 {
 		fmt.Fprintf(&b, "shards: %d audited answers served degraded, %d CI misses attributable to shard loss\n",
 			r.ShardDegradedAudits, r.ShardDegradedMisses)
+	}
+	if r.ContractAudits > 0 {
+		fmt.Fprintf(&b, "contracts: %d audited, %d \"met\" verdicts broken against ground truth\n",
+			r.ContractAudits, r.ContractBroken)
+		for _, cc := range r.Contracts {
+			budget := "ok"
+			if !cc.BudgetOK {
+				budget = "BURNING"
+			} else if cc.Audits < 30 {
+				budget = "warming"
+			}
+			fmt.Fprintf(&b, "  %-16s %4d met-audits, held %.1f%% [%6.3f,%6.3f] vs required %.1f%% — %s\n",
+				cc.Technique, cc.Audits, 100*cc.HoldRate, cc.WilsonLo, cc.WilsonHi, 100*cc.Required, budget)
+		}
 	}
 	if len(r.Techniques) == 0 {
 		b.WriteString("no audited queries yet\n")

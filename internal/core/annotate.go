@@ -57,6 +57,14 @@ func annotate(stmt *sqlparse.SelectStmt, res *exec.Result, spec ErrorSpec,
 			} else if isAgg && !ok {
 				specOK = false
 			}
+			// Expose the CLT moments for direct sampled aggregates so a
+			// contract pilot can size stage two from this result alone.
+			if ae, isAE := sel.Expr.(*sqlparse.AggExpr); isAE && detail != nil && ae.Slot < len(detail.Aggs) {
+				if d := detail.Aggs[ae.Slot]; d.Supported && d.Weighted && !d.HasInterval {
+					items[j].Variance = d.Variance
+					items[j].SampleN = d.N
+				}
+			}
 		}
 		out.Items[i] = items
 	}

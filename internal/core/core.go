@@ -22,6 +22,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/contract"
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sqlparse"
@@ -105,6 +106,12 @@ type ItemResult struct {
 	CI stats.Interval
 	// RelHalfWidth is the CI half-width relative to the estimate.
 	RelHalfWidth float64
+	// Variance and SampleN are the CLT moments behind the interval (the
+	// estimator's variance and the sampled rows contributing to it),
+	// stamped for sampled aggregates so a pilot run's result is enough to
+	// size a contract stage two. Zero for exact or non-CLT items.
+	Variance float64
+	SampleN  float64
 }
 
 // Diagnostics records the physical and statistical facts of an execution.
@@ -142,6 +149,10 @@ type Diagnostics struct {
 	// unsharded runs (and thus absent from serialized diagnostics, keeping
 	// single-table output identical to before sharding existed).
 	Shards *ShardExecSummary
+	// Contract records a-priori error-contract execution (pilot sizing,
+	// stage-two cost, met/missed/infeasible verdict); nil for ordinary
+	// runs, keeping their serialized diagnostics unchanged.
+	Contract *contract.Summary
 	// Messages carries human-readable engine notes.
 	Messages []string
 }

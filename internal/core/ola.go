@@ -614,7 +614,8 @@ func (e *OLAEngine) checkpoint(stmt *sqlparse.SelectStmt, aggs []*sqlparse.AggEx
 				iv := stats.CLTInterval(est, variance, math.Max(a.n, 2), conf)
 				rel := iv.RelHalfWidth(est)
 				items[j] = ItemResult{Name: name, Value: val, IsAggregate: true,
-					HasCI: true, CI: iv, RelHalfWidth: rel}
+					HasCI: true, CI: iv, RelHalfWidth: rel,
+					Variance: variance, SampleN: math.Max(a.n, 2)}
 				if rel > spec.RelError {
 					specOK = false
 				}

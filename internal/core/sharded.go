@@ -33,6 +33,11 @@ type shardRun struct {
 	// sampledPop is the population actually subject to sampling (covered
 	// rows), the denominator for SampleFraction.
 	sampledPop int64
+	// moments holds per-shard slot moments (contract pilots only; nil
+	// entries mark failed/pruned shards), and rows the matching per-shard
+	// populations in shard order.
+	moments [][]exec.SlotMoment
+	rows    []int
 }
 
 // runSharded scatters the statement over the group and finalizes the
@@ -49,13 +54,17 @@ type shardRun struct {
 // systematic gaps and exact runs carry no variance to widen, so neither
 // extrapolates; the caller downgrades the guarantee instead.
 func runSharded(ctx context.Context, g *shard.Group, stmt *sqlparse.SelectStmt, p plan.Node,
-	smp *sample.Spec, workers int) (*shardRun, error) {
+	smp *sample.Spec, workers int, opts ...func(*shard.ExecOptions)) (*shardRun, error) {
 
-	sres, err := g.Scatter(ctx, stmt, shard.ExecOptions{
+	eo := shard.ExecOptions{
 		Workers:       workers,
 		Sample:        smp,
 		AllowDegraded: true,
-	})
+	}
+	for _, o := range opts {
+		o(&eo)
+	}
+	sres, err := g.Scatter(ctx, stmt, eo)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +84,8 @@ func runSharded(ctx context.Context, g *shard.Group, stmt *sqlparse.SelectStmt, 
 		sum.CoverageFraction = float64(sres.CoveredRows) / float64(sres.TotalRows)
 	}
 
-	run := &shardRun{summary: sum, degraded: sres.Degraded()}
+	run := &shardRun{summary: sum, degraded: sres.Degraded(),
+		moments: sres.ShardMoments, rows: sum.RowsPerShard}
 	if smp != nil {
 		run.sampledPop = int64(sres.CoveredRows)
 	}

@@ -18,6 +18,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/plan"
 	"repro/internal/storage"
@@ -127,6 +128,46 @@ func MergeAggPartials(parts []*AggPartial) *AggPartial {
 		}
 	}
 	return dst
+}
+
+// SlotMoment summarizes one aggregate slot across all of a partial's
+// groups: the summed Horvitz–Thompson estimate, its summed variance, and
+// the sampled rows contributing. Summing over groups is valid because
+// per-group HT components are sums over disjoint row sets; a contract
+// pilot uses these totals to measure per-shard spread without finalizing.
+type SlotMoment struct {
+	Estimate float64
+	Variance float64
+	N        float64
+}
+
+// SlotMoments extracts per-slot pilot moments from the partial. The
+// result is deterministic (each entry is a sum over groups of values
+// that are themselves order-independent per group, and float addition
+// over the map is confined to per-slot totals folded in group-key
+// order). Returns nil when the partial has no groups.
+func (p *AggPartial) SlotMoments() []SlotMoment {
+	if p == nil || len(p.groups) == 0 {
+		return nil
+	}
+	var slots int
+	keys := make([]string, 0, len(p.groups))
+	for key, gs := range p.groups {
+		keys = append(keys, key)
+		if len(gs.aggs) > slots {
+			slots = len(gs.aggs)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]SlotMoment, slots)
+	for _, key := range keys {
+		for i, st := range p.groups[key].aggs {
+			out[i].Estimate += st.ht.Sum()
+			out[i].Variance += st.ht.SumVariance()
+			out[i].N += st.ht.N()
+		}
+	}
+	return out
 }
 
 // ScaleForCoverage rescales every group's estimators as if the covered

@@ -212,6 +212,12 @@ func (s *Server) onAuditEvent(ev audit.Event) {
 			ev.RelError, errorWidthBuckets)
 	case audit.EventViolation:
 		s.met.Inc(Key("coverage_violation_total", "technique", ev.Technique))
+	case audit.EventContractHeld:
+		s.met.Inc(Key("audit_contract_held_total", "technique", ev.Technique))
+	case audit.EventContractBroken:
+		s.met.Inc(Key("audit_contract_broken_total", "technique", ev.Technique))
+	case audit.EventContractViolation:
+		s.met.Inc(Key("contract_violation_total", "technique", ev.Technique))
 	case audit.EventDropped:
 		s.met.Inc("audit_dropped_total")
 	case audit.EventDeduped:
@@ -398,6 +404,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.Diagnostics.Partial {
 		s.met.Inc("queries_partial_total")
 	}
+	if c := res.Diagnostics.Contract; c != nil {
+		s.met.Inc(Key("queries_contract_total", "outcome", string(c.Verdict)))
+	}
 	// Accuracy telemetry for approximate answers: the realized relative
 	// CI half-width vs the promised one, and whether the spec was met —
 	// the production signal that a sample ladder or synopsis has gone
@@ -453,6 +462,22 @@ func (s *Server) execute(ctx context.Context, req QueryRequest) (*core.Result, e
 		spec = core.ErrorSpec{RelError: req.RelError, Confidence: req.Confidence}
 		if spec.Confidence <= 0 {
 			spec.Confidence = core.DefaultErrorSpec.Confidence
+		}
+	}
+	if req.Contract {
+		// Contract execution pins an engine: pilot-sized two-stage runs
+		// exist only for the sampling engines. "auto" takes the online
+		// engine, the workhorse; exact/synopsis/as-written have nothing to
+		// size, so requesting a contract there is a caller error.
+		switch req.Mode {
+		case "", "auto", "online":
+			return s.db.QueryContractOnContext(ctx, core.TechniqueOnline, req.SQL, spec)
+		case "ola":
+			return s.db.QueryContractOnContext(ctx, core.TechniqueOLA, req.SQL, spec)
+		case "offline":
+			return s.db.QueryContractOnContext(ctx, core.TechniqueOffline, req.SQL, spec)
+		default:
+			return nil, fmt.Errorf("mode %q does not support contract execution (want auto, online, ola, or offline)", req.Mode)
 		}
 	}
 	switch req.Mode {

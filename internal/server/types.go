@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 
+	"repro/internal/contract"
 	"repro/internal/core"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -32,6 +33,12 @@ type QueryRequest struct {
 	// on engine failure or deadline the caller gets the typed error
 	// instead of a best-effort estimate from a cheaper technique.
 	NoDegrade bool `json:"no_degrade,omitempty"`
+	// Contract requests a-priori two-stage contract execution: a pilot
+	// sizes the stage-two sampling fraction that makes the realized CI
+	// meet the error spec, and the response carries a contract block with
+	// the met/missed/infeasible verdict. Valid with modes "auto" (online
+	// engine), "online", "ola", and "offline".
+	Contract bool `json:"contract,omitempty"`
 }
 
 // ItemJSON annotates one result cell.
@@ -80,6 +87,10 @@ type QueryResponse struct {
 	// Shards summarizes scatter-gather execution over a sharded table.
 	// Absent entirely for unsharded queries, so their JSON is unchanged.
 	Shards *ShardsJSON `json:"shards,omitempty"`
+	// Contract is the a-priori contract summary (sizing, cost, verdict).
+	// Absent entirely for non-contract queries, so their JSON is
+	// unchanged.
+	Contract *contract.Summary `json:"contract,omitempty"`
 }
 
 // ShardsJSON is the wire form of a sharded execution summary.
@@ -197,6 +208,7 @@ func encodeResult(res *core.Result) *QueryResponse {
 			Coverage:     sh.CoverageFraction,
 		}
 	}
+	out.Contract = res.Diagnostics.Contract
 	if len(res.Items) > 0 {
 		out.Items = make([][]ItemJSON, len(res.Items))
 		for i, items := range res.Items {

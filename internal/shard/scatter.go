@@ -42,6 +42,13 @@ type ExecOptions struct {
 	// StragglerTimeout, when > 0, abandons any shard that has not
 	// finished within it, treating the shard as failed.
 	StragglerTimeout time.Duration
+	// ShardRates, when non-nil, overrides Sample.Rate per shard (indexed
+	// by shard ID) — the Neyman-allocated stage-two fractions of a
+	// contract run. Must have one entry per shard.
+	ShardRates []float64
+	// CollectMoments asks the scatter to record each surviving shard's
+	// per-slot pilot moments before the merge consumes the partials.
+	CollectMoments bool
 }
 
 // ShardOutcome is one shard's result in a ScatterResult.
@@ -66,6 +73,10 @@ type ScatterResult struct {
 	// Failed and Pruned list shard IDs by outcome.
 	Failed []int
 	Pruned []int
+	// ShardMoments holds each shard's per-slot pilot moments (nil entry
+	// for failed/pruned shards), populated when ExecOptions.CollectMoments
+	// is set. Extracted before the ordered merge mutates the partials.
+	ShardMoments [][]exec.SlotMoment
 }
 
 // Degraded reports whether any shard failed to contribute.
@@ -110,7 +121,11 @@ func (g *Group) Scatter(ctx context.Context, stmt *sqlparse.SelectStmt, opt Exec
 			skip[i] = "open"
 			continue
 		}
-		p, err := g.shardPlan(stmt, sh, opt.Sample)
+		rate := -1.0
+		if i < len(opt.ShardRates) {
+			rate = opt.ShardRates[i]
+		}
+		p, err := g.shardPlan(stmt, sh, opt.Sample, rate)
 		if err != nil {
 			return nil, err
 		}
@@ -177,6 +192,13 @@ func (g *Group) Scatter(ctx context.Context, stmt *sqlparse.SelectStmt, opt Exec
 		}
 		return nil, fmt.Errorf("shard: %d shard(s) unavailable (breaker open)", len(res.Failed))
 	}
+	if opt.CollectMoments {
+		// Extract before MergeAggPartials mutates its first operand.
+		res.ShardMoments = make([][]exec.SlotMoment, n)
+		for i, p := range parts {
+			res.ShardMoments[i] = p.SlotMoments()
+		}
+	}
 	res.Partial = exec.MergeAggPartials(parts)
 	if res.Partial == nil {
 		if len(res.Pruned) > 0 && len(res.Failed) == 0 {
@@ -228,8 +250,9 @@ func (g *Group) runShard(ctx context.Context, i int, p plan.Node, workers int, d
 
 // shardPlan builds the statement's plan against a single shard's table
 // (registered under the group name, so the statement resolves unchanged)
-// and stamps the sampler with the shard-derived seed.
-func (g *Group) shardPlan(stmt *sqlparse.SelectStmt, sh *LocalShard, smp *sample.Spec) (plan.Node, error) {
+// and stamps the sampler with the shard-derived seed. rate ≥ 0 overrides
+// the sampler's rate for this shard (contract stage-two allocation).
+func (g *Group) shardPlan(stmt *sqlparse.SelectStmt, sh *LocalShard, smp *sample.Spec, rate float64) (plan.Node, error) {
 	cat := storage.NewCatalog()
 	if err := cat.AddAs(g.name, sh.Scan()); err != nil {
 		return nil, err
@@ -244,6 +267,9 @@ func (g *Group) shardPlan(stmt *sqlparse.SelectStmt, sh *LocalShard, smp *sample
 		return p, nil
 	}
 	spec := *smp
+	if rate >= 0 {
+		spec.Rate = rate
+	}
 	spec.Seed = DeriveSeed(smp.Seed, sh.ID())
 	for _, s := range scans {
 		s.Sample = &spec

@@ -1,0 +1,71 @@
+package sqlparse
+
+import "testing"
+
+// TestContractClauseRoundTrip pins the contract clause grammar: every
+// accepted spelling of WITH ERROR e [%] [CONFIDENCE c [%]] parses to the
+// expected rates, renders to one canonical form, and that form is a
+// fixed point under re-parsing. The clause is the a-priori contract
+// syntax, so its canonical rendering is part of the wire format (plan
+// cache keys, audit dedup, golden benchmarks) and must not drift.
+func TestContractClauseRoundTrip(t *testing.T) {
+	cases := []struct {
+		sql        string
+		relError   float64
+		confidence float64
+		canonical  string
+	}{
+		{"SELECT SUM(x) FROM t WITH ERROR 5% CONFIDENCE 95%", 0.05, 0.95,
+			"SELECT SUM(x) FROM t WITH ERROR 5% CONFIDENCE 95%"},
+		{"SELECT SUM(x) FROM t WITH ERROR 0.5% CONFIDENCE 99%", 0.005, 0.99,
+			"SELECT SUM(x) FROM t WITH ERROR 0.5% CONFIDENCE 99%"},
+		// Bare fractions mean the same thing as their percent forms.
+		{"SELECT SUM(x) FROM t WITH ERROR 0.02 CONFIDENCE 0.95", 0.02, 0.95,
+			"SELECT SUM(x) FROM t WITH ERROR 2% CONFIDENCE 95%"},
+		// Values above 1 are percentages even without the sign.
+		{"SELECT SUM(x) FROM t WITH ERROR 2 CONFIDENCE 90", 0.02, 0.90,
+			"SELECT SUM(x) FROM t WITH ERROR 2% CONFIDENCE 90%"},
+		// CONFIDENCE is optional and defaults to 95%.
+		{"SELECT AVG(x) FROM t WITH ERROR 1%", 0.01, 0.95,
+			"SELECT AVG(x) FROM t WITH ERROR 1% CONFIDENCE 95%"},
+		// The clause composes with the rest of the statement tail.
+		{"SELECT g, SUM(x) FROM t WHERE x > 0 GROUP BY g LIMIT 3 WITH ERROR 5% CONFIDENCE 99%", 0.05, 0.99,
+			"SELECT g, SUM(x) FROM t WHERE (x > 0) GROUP BY g LIMIT 3 WITH ERROR 5% CONFIDENCE 99%"},
+	}
+	for _, tc := range cases {
+		stmt, err := Parse(tc.sql)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.sql, err)
+		}
+		if stmt.Error == nil {
+			t.Fatalf("%q: no error clause parsed", tc.sql)
+		}
+		if stmt.Error.RelError != tc.relError || stmt.Error.Confidence != tc.confidence {
+			t.Fatalf("%q: parsed (%v, %v), want (%v, %v)", tc.sql,
+				stmt.Error.RelError, stmt.Error.Confidence, tc.relError, tc.confidence)
+		}
+		got := stmt.String()
+		if got != tc.canonical {
+			t.Fatalf("%q renders %q, want %q", tc.sql, got, tc.canonical)
+		}
+		again, err := Parse(got)
+		if err != nil {
+			t.Fatalf("canonical %q does not re-parse: %v", got, err)
+		}
+		if s2 := again.String(); s2 != got {
+			t.Fatalf("canonical form not a fixed point: %q then %q", got, s2)
+		}
+	}
+
+	// Malformed clauses are rejected, not misread.
+	for _, bad := range []string{
+		"SELECT SUM(x) FROM t WITH ERROR",
+		"SELECT SUM(x) FROM t WITH ERROR x%",
+		"SELECT SUM(x) FROM t WITH ERROR 5% CONFIDENCE",
+		"SELECT SUM(x) FROM t WITH 5%",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("%q: accepted malformed contract clause", bad)
+		}
+	}
+}

@@ -21,6 +21,12 @@ var fuzzSeedCorpus = []string{
 	"SELECT SUM(x) FROM t TABLESAMPLE BILEVEL (10, 1)",
 	"SELECT SUM(x) FROM t WITH ERROR 5% CONFIDENCE 95%",
 	"SELECT SUM(x) FROM t WITH ERROR 0.5",
+	"SELECT SUM(x) FROM t WITH ERROR 0.5% CONFIDENCE 99%",
+	"SELECT SUM(x) FROM t WITH ERROR 2 % CONFIDENCE 90 %",
+	"SELECT SUM(x) FROM t WITH ERROR 0.02 CONFIDENCE 0.95",
+	"SELECT AVG(x) FROM t WHERE x > 0 WITH ERROR 1%",
+	"SELECT g, SUM(x) FROM t GROUP BY g LIMIT 3 WITH ERROR 5% CONFIDENCE 99%",
+	"SELECT SUM(x) FROM t WITH ERROR 100% CONFIDENCE 50%",
 	"SELECT PERCENTILE(x, 0.5) FROM t",
 	"SELECT MIN(x), MAX(x) FROM t",
 	"SELECT COUNT(DISTINCT g) FROM t",
