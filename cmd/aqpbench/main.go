@@ -9,6 +9,7 @@
 //	aqpbench -profile             # print an EXPLAIN ANALYZE span profile
 //	aqpbench -audit               # smoke-test the accuracy-audit lane
 //	aqpbench -chaos               # chaos gate: inject faults, assert survival
+//	aqpbench -telemetry-overhead  # observability-cost gate: p50 regression < 3%
 //	aqpbench -list
 package main
 
@@ -69,6 +70,7 @@ func main() {
 		auditSm = flag.Bool("audit", false, "run the accuracy-audit smoke: serve sampled queries, drain the audit lane, fail on backlog or errors")
 		chaosSm = flag.Bool("chaos", false, "run the chaos gate: serve queries under injected panics/errors, fail on process death, un-flagged degraded responses, invalid CIs, or baseline drift")
 		shardSw = flag.Bool("shards", false, "run the shard sweep: scatter-gather latency and CI width at 1/2/4/8 shards")
+		teleOv  = flag.Bool("telemetry-overhead", false, "run the observability-cost gate: interleaved A/B exact scans with telemetry on vs off, fail if the telemetry arm's p50 regresses 3% or more")
 		contrSw = flag.Bool("contract", false, "run the contract sweep: pilot-sized two-stage runs per engine at 1/2/5% targets, fail if the held rate falls confidently below the stated confidence")
 	)
 	flag.Parse()
@@ -96,6 +98,13 @@ func main() {
 	if *chaosSm {
 		if err := runChaosGate(*rows, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "aqpbench: chaos gate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *teleOv {
+		if err := runTelemetryOverhead(*rows, *seed, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: telemetry overhead gate: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -442,6 +451,118 @@ func runChaosGate(rows int, seed int64) error {
 
 	fmt.Printf("chaos gate: %d queries under injection (%d ok, %d degraded, %d typed errors); %d faults fired across %d points; baseline bit-identical with injection off\n",
 		served+errored, served, degraded, errored, fires, len(fault.Status()))
+	return nil
+}
+
+// runTelemetryOverhead is the observability-cost release gate: it
+// interleaves identical exact scans against two in-process servers —
+// one bare, one with the flight recorder, span exporter, time-series
+// store, and SLO engine all live — and fails when the telemetry arm's
+// p50 latency regresses by 3% or more. Interleaving A/B pairs inside
+// one process (and flipping the within-pair order every iteration)
+// cancels the drift that would dominate a run-A-then-run-B comparison
+// at millisecond scales: page-cache warming, GC cadence, CPU thermal
+// state. The telemetry arm is fully armed — per-query span trees,
+// flight-recorder rings, and a running snapshot ticker — so the gate
+// measures the real production cost, not a stripped-down one.
+func runTelemetryOverhead(rows int, seed int64, workers int) error {
+	const (
+		pairs      = 60
+		warmup     = 8
+		maxRegress = 0.03
+	)
+	if rows < 500_000 {
+		rows = 500_000 // the gate's canonical scale: a 500k-row exact scan
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ev, err := workload.GenerateEvents(workload.EventsConfig{
+		Seed: seed, Rows: rows, NumGroups: 16, Skew: 0.8,
+	})
+	if err != nil {
+		return err
+	}
+	// Both servers share one read-only DB so the only variable between
+	// the arms is the observability layer itself.
+	db := aqp.Open(ev.Catalog)
+	bare := server.New(db, server.Config{Workers: workers, Logger: logger})
+	tele := server.New(db, server.Config{Workers: workers, Logger: logger, Telemetry: true})
+	tele.TelemetryStore().Start()
+	defer tele.TelemetryStore().Close()
+
+	body, err := json.Marshal(server.QueryRequest{
+		SQL: "SELECT SUM(ev_value), COUNT(*) FROM events WHERE ev_value >= 0", Mode: "exact",
+	})
+	if err != nil {
+		return err
+	}
+	run := func(h http.Handler) (time.Duration, error) {
+		r := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+		r.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		d := time.Since(start)
+		if w.Code != http.StatusOK {
+			return 0, fmt.Errorf("status %d: %s", w.Code, w.Body.String())
+		}
+		return d, nil
+	}
+	quantile := func(ds []time.Duration, q float64) time.Duration {
+		s := append([]time.Duration(nil), ds...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+
+	bh, th := bare.Handler(), tele.Handler()
+	for i := 0; i < warmup; i++ {
+		if _, err := run(bh); err != nil {
+			return fmt.Errorf("warmup bare: %w", err)
+		}
+		if _, err := run(th); err != nil {
+			return fmt.Errorf("warmup telemetry: %w", err)
+		}
+	}
+	var bareLat, teleLat []time.Duration
+	for i := 0; i < pairs; i++ {
+		if i%2 == 0 {
+			d, err := run(bh)
+			if err != nil {
+				return fmt.Errorf("pair %d bare: %w", i, err)
+			}
+			bareLat = append(bareLat, d)
+			d, err = run(th)
+			if err != nil {
+				return fmt.Errorf("pair %d telemetry: %w", i, err)
+			}
+			teleLat = append(teleLat, d)
+		} else {
+			d, err := run(th)
+			if err != nil {
+				return fmt.Errorf("pair %d telemetry: %w", i, err)
+			}
+			teleLat = append(teleLat, d)
+			d, err = run(bh)
+			if err != nil {
+				return fmt.Errorf("pair %d bare: %w", i, err)
+			}
+			bareLat = append(bareLat, d)
+		}
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+	p50b, p50t := quantile(bareLat, 0.5), quantile(teleLat, 0.5)
+	p90b, p90t := quantile(bareLat, 0.9), quantile(teleLat, 0.9)
+	regress := (ms(p50t) - ms(p50b)) / ms(p50b)
+	fmt.Printf("telemetry overhead gate: rows=%d pairs=%d (interleaved, order-flipped)\n", rows, pairs)
+	fmt.Printf("  bare:      p50 %8.3f ms   p90 %8.3f ms\n", ms(p50b), ms(p90b))
+	fmt.Printf("  telemetry: p50 %8.3f ms   p90 %8.3f ms\n", ms(p50t), ms(p90t))
+	fmt.Printf("  p50 regression %+.2f%% (bound %+.0f%%)\n", 100*regress, 100*maxRegress)
+	if regress >= maxRegress {
+		return fmt.Errorf("telemetry p50 %.3fms regresses %.2f%% over bare p50 %.3fms (bound %.0f%%)",
+			ms(p50t), 100*regress, ms(p50b), 100*maxRegress)
+	}
+	fmt.Println("  gate ok")
 	return nil
 }
 

@@ -31,8 +31,37 @@ import (
 	aqp "repro"
 	"repro/internal/fault"
 	"repro/internal/server"
+	telemetrypkg "repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// flightSink builds the destination for automatic flight-recorder dumps:
+// one timestamped JSON file per dump under dir, or indented JSON on
+// stderr when no directory is configured.
+func flightSink(dir string) func(telemetrypkg.Bundle) {
+	return func(b telemetrypkg.Bundle) {
+		if dir == "" {
+			log.Printf("aqpd: flight dump (%s) follows", b.Reason)
+			if err := b.WriteJSON(os.Stderr); err != nil {
+				log.Printf("aqpd: flight dump: %v", err)
+			}
+			return
+		}
+		reason := strings.NewReplacer(":", "-", "/", "-").Replace(b.Reason)
+		path := fmt.Sprintf("%s/flight-%s-%d.json", dir, reason, time.Now().UnixNano())
+		f, err := os.Create(path)
+		if err != nil {
+			log.Printf("aqpd: flight dump: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := b.WriteJSON(f); err != nil {
+			log.Printf("aqpd: flight dump %s: %v", path, err)
+			return
+		}
+		log.Printf("aqpd: flight dump (%s) written to %s", b.Reason, path)
+	}
+}
 
 // loadFlags collects repeated -load name=path.csv flags.
 type loadFlags []string
@@ -70,6 +99,12 @@ func main() {
 		shardKey   = flag.String("shard-key", "", "shard-routing column (required with -shards > 1)")
 		shardKind  = flag.String("shard-kind", "hash", "shard routing: hash or range")
 		shardTable = flag.String("shard-table", "", "table to shard (default: every table that has the -shard-key column)")
+		telemetry  = flag.Bool("telemetry", false, "enable the observability layer: metric time-series (GET /metrics/history), SLO engine (GET /slo), flight recorder (GET /debug/flightrecord, dumped on SIGQUIT), span export (GET /debug/spans)")
+		telemStep  = flag.Duration("telemetry-step", 10*time.Second, "metric snapshot cadence")
+		telemWin   = flag.Duration("telemetry-window", 15*time.Minute, "metric history retention window")
+		sloConfig  = flag.String("slo-config", "", "JSON file of SLO objectives (default: built-in latency/coverage/contract/degradation objectives)")
+		flightN    = flag.Int("flight-queries", 64, "flight-recorder ring size (last N queries, plus N notable)")
+		flightDump = flag.String("flight-dump", "", "directory for automatic flight-recorder dumps (panic, SLO fast burn, SIGQUIT); empty logs dumps to stderr as JSON")
 		loads      loadFlags
 	)
 	flag.Var(&loads, "load", "load a CSV table as name=path.csv (repeatable; types inferred)")
@@ -121,7 +156,7 @@ func main() {
 		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
 	}
 
-	srv := server.New(db, server.Config{
+	cfg := server.Config{
 		Workers:         *workers,
 		QueueCap:        *queueCap,
 		DefaultTimeout:  *defTimeout,
@@ -135,7 +170,43 @@ func main() {
 		AuditWindow:     *auditWin,
 		AuditSeed:       *seed,
 		DegradeBudget:   *degradeBgt,
-	})
+	}
+	if *telemetry {
+		cfg.Telemetry = true
+		cfg.TelemetryStep = *telemStep
+		cfg.TelemetryWindow = *telemWin
+		cfg.FlightQueries = *flightN
+		cfg.FlightSink = flightSink(*flightDump)
+		if *sloConfig != "" {
+			raw, err := os.ReadFile(*sloConfig)
+			if err != nil {
+				log.Fatalf("aqpd: -slo-config: %v", err)
+			}
+			objs, err := telemetrypkg.ParseObjectives(raw)
+			if err != nil {
+				log.Fatalf("aqpd: -slo-config: %v", err)
+			}
+			cfg.Objectives = objs
+		}
+	}
+	srv := server.New(db, cfg)
+	if *telemetry {
+		srv.TelemetryStore().Start()
+		defer srv.TelemetryStore().Close()
+		log.Printf("aqpd: telemetry on (step %s, window %s, flight ring %d); GET /metrics/history, /slo, /debug/flightrecord, /debug/spans",
+			*telemStep, *telemWin, *flightN)
+		// SIGQUIT dumps the flight recorder instead of killing the
+		// process — the operator's "what just happened" button.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				b := srv.FlightBundle("sigquit")
+				cfg.FlightSink(b)
+				log.Printf("aqpd: SIGQUIT flight dump: %d queries, %d events", len(b.Queries), len(b.Events))
+			}
+		}()
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -23,6 +23,8 @@
 //	\shards                     list sharded tables with per-shard health
 //	\matrix <sql> [; <sql>...]  measure the no-silver-bullet matrix on probes
 //	\audit                      print the continuous accuracy-audit report
+//	\slo                        evaluate the SLO objectives over this session
+//	\flight [n]                 summarize the last n flight-recorded queries
 //	\faults                     list fault-injection points with hit/fire counts
 //	\faults arm <rules> [seed]  arm chaos injection (point:kind:prob[:latency],...)
 //	\faults off                 disarm chaos injection
@@ -46,14 +48,22 @@ import (
 	aqp "repro"
 	"repro/internal/audit"
 	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
-// shell bundles the open DB with its embedded accuracy auditor; \gen
-// swaps both, since an auditor is bound to one DB's exact path.
+// shell bundles the open DB with its embedded accuracy auditor and a
+// session-local telemetry stack (metrics registry, flight recorder, SLO
+// engine); \gen swaps the DB and auditor, telemetry spans the session.
 type shell struct {
 	db  *aqp.DB
 	aud *audit.Auditor
+
+	met    *server.Metrics
+	flight *telemetry.Recorder
+	tstore *telemetry.Store
+	slo    *telemetry.SLO
 }
 
 // setDB replaces the database and rebinds the auditor to it.
@@ -61,6 +71,51 @@ func (sh *shell) setDB(db *aqp.DB) {
 	sh.aud.Close()
 	sh.db = db
 	sh.aud = newAuditor(db)
+}
+
+// initTelemetry builds the session-local observability stack. The store
+// is snapped on demand (\slo), never on a ticker — an interactive shell
+// has no background cadence worth paying for.
+func (sh *shell) initTelemetry() {
+	sh.met = server.NewMetrics()
+	sh.flight = telemetry.NewRecorder(telemetry.RecorderConfig{Queries: 64})
+	sh.tstore = telemetry.NewStore(telemetry.StoreConfig{
+		Collect: func() telemetry.Sample { return sh.met.TelemetrySample(nil) },
+	})
+	sh.slo = telemetry.NewSLO(sh.tstore, nil, nil)
+	sh.tstore.Snap() // baseline edge for the first \slo
+}
+
+// record files one executed statement with the session metrics and the
+// flight recorder, so \slo and \flight observe shell work the same way
+// aqpd observes served queries.
+func (sh *shell) record(sql string, res *aqp.Result, err error, start time.Time) {
+	latencyMS := float64(time.Since(start).Microseconds()) / 1e3
+	if err != nil {
+		sh.met.Inc("queries_errors_total")
+		sh.met.Inc("queries_total")
+		sh.flight.Record(telemetry.QueryRecord{
+			Start: start, SQL: sql, Status: 500, Err: err.Error(), LatencyMS: latencyMS,
+		})
+		return
+	}
+	tech := string(res.Technique)
+	sh.met.Inc(server.Key("queries_total", "technique", tech))
+	sh.met.Observe(server.Key("query_latency_ms", "technique", tech), latencyMS)
+	if res.Diagnostics.Degraded {
+		sh.met.Inc("queries_degraded_total")
+	}
+	qr := telemetry.QueryRecord{
+		Start: start, SQL: sql, Technique: tech, Status: 200,
+		LatencyMS:   latencyMS,
+		RowsScanned: res.Diagnostics.Counters.RowsScanned,
+		Degraded:    res.Diagnostics.Degraded,
+		Partial:     res.Diagnostics.Partial,
+	}
+	if c := res.Diagnostics.Contract; c != nil {
+		qr.ContractVerdict = string(c.Verdict)
+	}
+	sh.flight.Record(qr)
 }
 
 // newAuditor audits every approximate answer (fraction 1, no capacity
@@ -72,6 +127,7 @@ func newAuditor(db *aqp.DB) *audit.Auditor {
 func main() {
 	sh := &shell{db: aqp.New()}
 	sh.aud = newAuditor(sh.db)
+	sh.initTelemetry()
 	fmt.Println("aqpsh — approximate query shell (\\gen to create data, \\quit to exit)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -90,7 +146,9 @@ func main() {
 			}
 			continue
 		}
+		start := time.Now()
 		res, err := sh.db.QueryApprox(line)
+		sh.record(line, res, err, start)
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
@@ -200,18 +258,21 @@ func meta(sh *shell, line string) bool {
 		}
 		fmt.Printf("technique=%s guarantee=%s reason=%s\n", d.Technique, d.Guarantee, d.Reason)
 	case "\\exact":
-		show(db.Query(rest))
+		res, err := db.Query(rest)
+		sh.show(rest, res, err)
 	case "\\online":
-		show(db.QueryOnline(rest, aqp.DefaultErrorSpec))
+		res, err := db.QueryOnline(rest, aqp.DefaultErrorSpec)
+		sh.show(rest, res, err)
 	case "\\offline":
-		show(db.QueryOffline(rest, aqp.DefaultErrorSpec))
+		res, err := db.QueryOffline(rest, aqp.DefaultErrorSpec)
+		sh.show(rest, res, err)
 	case "\\ola":
 		res, err := db.QueryProgressive(rest, aqp.DefaultErrorSpec, func(p aqp.Progress) bool {
 			fmt.Printf("  %5.1f%% read, current max CI half-width %.4f\n",
 				p.Fraction*100, p.Result.MaxRelHalfWidth())
 			return true
 		})
-		show(res, err)
+		sh.show(rest, res, err)
 	case "\\contract":
 		// Pilot-sized two-stage execution: FormatResult appends the
 		// contract footer (verdict, sized fractions, pilot/final rows).
@@ -233,7 +294,7 @@ func meta(sh *shell, line string) bool {
 			return false
 		}
 		res, err := db.QueryContractOn(tech, sql)
-		show(res, err)
+		sh.show(sql, res, err)
 		if err == nil {
 			sh.aud.Offer(res, sql)
 		}
@@ -286,6 +347,55 @@ func meta(sh *shell, line string) bool {
 			fmt.Printf("warning: audit backlog not drained: %v\n", err)
 		}
 		fmt.Print(sh.aud.Report().String())
+	case "\\slo":
+		// Snap a fresh edge so the evaluation covers everything since the
+		// previous \slo (or session start).
+		sh.tstore.Snap()
+		fmt.Printf("%-18s %-13s %7s %10s %10s %8s  %s\n",
+			"OBJECTIVE", "KIND", "TARGET", "FAST_BURN", "SLOW_BURN", "BUDGET", "STATE")
+		for _, st := range sh.slo.Evaluate() {
+			fmt.Printf("%-18s %-13s %6.2f%% %10.2f %10.2f %7.0f%%  %s\n",
+				st.Objective.Name, st.Objective.Kind, st.Objective.Target*100,
+				st.Fast.Burn, st.Slow.Burn, st.BudgetRemaining*100, st.State)
+		}
+	case "\\flight":
+		n := 10
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				fmt.Println("usage: \\flight [n]")
+				return false
+			}
+			n = v
+		}
+		b := sh.flight.Snapshot("aqpsh")
+		if len(b.Queries) == 0 {
+			fmt.Println("flight recorder empty (run some queries first)")
+			return false
+		}
+		if len(b.Queries) > n {
+			b.Queries = b.Queries[len(b.Queries)-n:]
+		}
+		fmt.Printf("%4s %6s %-18s %-8s %-10s %-10s %9s  %s\n",
+			"SEQ", "STATUS", "TECHNIQUE", "DEGRADED", "VERDICT", "KEEP", "LATENCY", "SQL")
+		for _, qr := range b.Queries {
+			verdict, keep, tech := qr.ContractVerdict, qr.Keep, qr.Technique
+			if verdict == "" {
+				verdict = "-"
+			}
+			if keep == "" {
+				keep = "-"
+			}
+			if tech == "" {
+				tech = "-"
+			}
+			sql := qr.SQL
+			if len(sql) > 48 {
+				sql = sql[:45] + "..."
+			}
+			fmt.Printf("%4d %6d %-18s %-8v %-10s %-10s %7.2fms  %s\n",
+				qr.Seq, qr.Status, tech, qr.Degraded, verdict, keep, qr.LatencyMS, sql)
+		}
 	case "\\shard":
 		if len(fields) < 4 {
 			fmt.Println("usage: \\shard <table> <col> <count> [hash|range]")
@@ -375,7 +485,15 @@ func meta(sh *shell, line string) bool {
 	return false
 }
 
-func show(res *aqp.Result, err error) {
+// show records the statement with the session telemetry and prints the
+// result (or error). The result's own measured latency stands in for a
+// wall clock started before execution.
+func (sh *shell) show(sql string, res *aqp.Result, err error) {
+	start := time.Now()
+	if res != nil {
+		start = start.Add(-res.Diagnostics.Latency)
+	}
+	sh.record(sql, res, err, start)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

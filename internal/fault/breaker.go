@@ -38,6 +38,10 @@ type BreakerConfig struct {
 	// Cooldown is how long an open breaker waits before granting a
 	// half-open probe (default 5s).
 	Cooldown time.Duration
+	// OnTransition, when non-nil, observes every state change. It is
+	// invoked after the breaker's lock is released, so it may call back
+	// into the breaker (though observers normally just record the event).
+	OnTransition func(from, to BreakerState)
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -75,17 +79,24 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // through Record.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
+		b.mu.Unlock()
 		return true
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
 			b.state = BreakerHalfOpen
+			cb := b.cfg.OnTransition
+			b.mu.Unlock()
+			if cb != nil {
+				cb(BreakerOpen, BreakerHalfOpen)
+			}
 			return true
 		}
+		b.mu.Unlock()
 		return false
 	default: // half-open: the probe is already out
+		b.mu.Unlock()
 		return false
 	}
 }
@@ -94,30 +105,36 @@ func (b *Breaker) Allow() bool {
 // outcome trips the breaker open (so the caller can count trips once).
 func (b *Breaker) Record(ok bool) (tripped bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	if ok {
 		b.state = BreakerClosed
 		b.failures = 0
-		return false
-	}
-	switch b.state {
-	case BreakerHalfOpen:
-		// The probe failed: straight back to open, new cooldown.
-		b.state = BreakerOpen
-		b.openedAt = b.now()
-		b.trips++
-		return true
-	case BreakerClosed:
-		b.failures++
-		if b.failures >= b.cfg.Threshold {
+	} else {
+		switch b.state {
+		case BreakerHalfOpen:
+			// The probe failed: straight back to open, new cooldown.
 			b.state = BreakerOpen
 			b.openedAt = b.now()
-			b.failures = 0
 			b.trips++
-			return true
+			tripped = true
+		case BreakerClosed:
+			b.failures++
+			if b.failures >= b.cfg.Threshold {
+				b.state = BreakerOpen
+				b.openedAt = b.now()
+				b.failures = 0
+				b.trips++
+				tripped = true
+			}
 		}
 	}
-	return false
+	to := b.state
+	cb := b.cfg.OnTransition
+	b.mu.Unlock()
+	if cb != nil && from != to {
+		cb(from, to)
+	}
+	return tripped
 }
 
 // State returns the current position, promoting open→half-open if the

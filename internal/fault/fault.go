@@ -184,7 +184,24 @@ var (
 	regMu     sync.Mutex
 	points    = map[string]*Point{}
 	installed *Schedule // nil when no schedule is armed
+
+	// onFire is the optional process-global fire observer (the flight
+	// recorder). Atomic so the armed fire path reads it without a lock;
+	// the disarmed path never reaches it.
+	onFire atomic.Pointer[func(point string, kind Kind)]
 )
+
+// SetOnFire installs fn to observe every fault fire (nil uninstalls).
+// The hook runs on the injection path of an *armed* point only — a
+// disarmed Inject stays a single atomic load — so fn must be fast and
+// must not itself call Inject.
+func SetOnFire(fn func(point string, kind Kind)) {
+	if fn == nil {
+		onFire.Store(nil)
+		return
+	}
+	onFire.Store(&fn)
+}
 
 // NewPoint declares (or returns the already-declared) named injection
 // point. If a schedule is already installed, the new point is armed
@@ -221,6 +238,9 @@ func (p *Point) Inject() error {
 		return nil
 	}
 	p.fires.Add(1)
+	if fn := onFire.Load(); fn != nil {
+		(*fn)(p.name, r.rule.Kind)
+	}
 	switch r.rule.Kind {
 	case KindPanic:
 		panic(&PanicValue{Point: p.name})

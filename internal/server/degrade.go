@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/fault"
+	"repro/internal/trace"
 )
 
 // injectServerQuery fires inside handleQuery, after admission, within the
@@ -42,10 +43,16 @@ func modeKey(mode string) string {
 
 // newBreakers builds one circuit breaker per engine mode. The map is
 // complete and read-only after construction, so lookups need no lock.
-func newBreakers(cfg Config) map[string]*fault.Breaker {
-	bc := fault.BreakerConfig{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}
+// onTransition (may be nil) observes every state change with the engine
+// key attached, feeding the flight recorder's breaker event stream.
+func newBreakers(cfg Config, onTransition func(engine string, from, to fault.BreakerState)) map[string]*fault.Breaker {
 	m := make(map[string]*fault.Breaker)
 	for _, k := range []string{"auto", "exact", "online", "offline", "ola", "synopsis", "as-written"} {
+		bc := fault.BreakerConfig{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}
+		if onTransition != nil {
+			engine := k
+			bc.OnTransition = func(from, to fault.BreakerState) { onTransition(engine, from, to) }
+		}
 		m[k] = fault.NewBreaker(bc)
 	}
 	return m
@@ -111,6 +118,10 @@ func (s *Server) executeResilient(ctx, parent context.Context, req QueryRequest,
 		}
 		rctx, cancel := context.WithTimeout(parent, s.cfg.DegradeBudget)
 		rctx = exec.ContextWithWorkers(rctx, workers)
+		// The rung context derives from the raw request context, which
+		// carries no tracer — re-attach the query's span so substitute
+		// engines appear in the same trace.
+		rctx = trace.Propagate(rctx, ctx)
 		sub, rerr := s.executeEngine(rctx, rung, req)
 		cancel()
 		if rerr != nil {

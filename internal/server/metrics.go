@@ -6,6 +6,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Bucket bound presets. Each histogram family picks the preset that
@@ -178,6 +181,10 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Gauges     map[string]int64             `json:"gauges"`
+	// GaugesF carries float-valued gauges (SLO burn rates and error
+	// budgets); absent entirely when telemetry is off, so the JSON of a
+	// telemetry-less server is unchanged.
+	GaugesF map[string]float64 `json:"gauges_float,omitempty"`
 	// Info carries static build identity (go version, module version).
 	Info map[string]string `json:"info,omitempty"`
 }
@@ -219,4 +226,37 @@ func (m *Metrics) Snapshot(gauges map[string]int64) Snapshot {
 		snap.Histograms[k] = hs
 	}
 	return snap
+}
+
+// TelemetrySample converts the registry (plus caller-supplied gauges)
+// into one time-series sample for the telemetry store: counters as
+// floats, histograms as cumulative bucket counts. One full copy under
+// the registry lock, once per snapshot cadence — never on a query path.
+func (m *Metrics) TelemetrySample(gauges map[string]float64) telemetry.Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	smp := telemetry.Sample{
+		T:        time.Now(),
+		Counters: make(map[string]float64, len(m.counters)),
+		Gauges:   gauges,
+		Hists:    make(map[string]telemetry.Hist, len(m.hists)),
+	}
+	for k, v := range m.counters {
+		smp.Counters[k] = float64(v)
+	}
+	for k, h := range m.hists {
+		th := telemetry.Hist{
+			Bounds: append([]float64(nil), h.bounds...),
+			Cum:    make([]float64, len(h.counts)),
+			Sum:    h.sum,
+			Count:  float64(h.total),
+		}
+		var cum int64
+		for i, c := range h.counts {
+			cum += c
+			th.Cum[i] = float64(cum)
+		}
+		smp.Hists[k] = th
+	}
+	return smp
 }

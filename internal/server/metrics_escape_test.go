@@ -99,7 +99,7 @@ func TestPrometheusGaugeFamilyGrouping(t *testing.T) {
 		Key("sample_stale", "table", "events"): 1,
 		Key("sample_stale", "table", "stars"):  0,
 		"audit_backlog":                        3,
-	}, nil)
+	}, nil, nil)
 	out := sb.String()
 	if n := strings.Count(out, "# TYPE sample_stale gauge"); n != 1 {
 		t.Fatalf("sample_stale family declared %d times:\n%s", n, out)

@@ -7,14 +7,83 @@ import (
 	"strings"
 )
 
+// helpText is the HELP line registry: one human-readable sentence per
+// metric family. Families without an entry get a generated fallback so
+// every exposed family carries a HELP line.
+var helpText = map[string]string{
+	"queries_total":               "Completed queries by technique.",
+	"queries_errors_total":        "Queries that returned an error.",
+	"queries_shed_total":          "Queries shed by admission control (429).",
+	"queries_abandoned_total":     "Queries whose client left while queued.",
+	"queries_deadline_total":      "Queries that exhausted their deadline with no estimate.",
+	"queries_partial_total":       "Deadline-truncated online-aggregation answers.",
+	"queries_degraded_total":      "Queries answered by a degradation-ladder fallback technique.",
+	"queries_contract_total":      "Contract executions by verdict.",
+	"queries_by_guarantee":        "Completed queries by accuracy guarantee.",
+	"queries_spec_met_total":      "Approximate answers whose realized CI met the requested error spec.",
+	"queries_spec_missed_total":   "Approximate answers whose realized CI missed the requested error spec.",
+	"query_latency_ms":            "Query latency in milliseconds by technique.",
+	"query_latency_seconds":       "Query latency in seconds by technique (unit-correct copy of query_latency_ms).",
+	"query_rows_scanned":          "Rows scanned per query by technique.",
+	"query_ci_rel_width":          "Realized relative CI half-width of approximate answers.",
+	"query_ci_target_width":       "Requested relative CI half-width of approximate answers.",
+	"query_panics_total":          "Recovered query panics by engine.",
+	"rows_scanned_total":          "Total rows scanned across all queries.",
+	"samples_built_total":         "Offline sample-build operations completed.",
+	"audits_total":                "Ground-truth audit executions by technique.",
+	"audit_lag_ms":                "Lag from answer served to audit verdict, in milliseconds.",
+	"audit_lag_seconds":           "Lag from answer served to audit verdict, in seconds (unit-correct copy of audit_lag_ms).",
+	"audit_covered_total":         "Audited answers whose CI covered the exact value.",
+	"audit_missed_total":          "Audited answers whose CI missed the exact value.",
+	"audit_rel_error":             "Realized relative error of audited answers.",
+	"audit_contract_held_total":   "Audited contract answers whose contract held.",
+	"audit_contract_broken_total": "Audited contract answers whose contract broke.",
+	"coverage_violation_total":    "Windows where audit CI coverage fell below the confidence floor.",
+	"contract_violation_total":    "Windows where the contract hold-rate fell below its floor.",
+	"audit_dropped_total":         "Audit candidates shed because the audit queue was full.",
+	"audit_deduped_total":         "Audit candidates deduplicated against a pending audit.",
+	"audit_errors_total":          "Audit ground-truth executions that failed.",
+	"audit_unmatched_total":       "Audit results that no longer matched a pending claim.",
+	"audit_panics_total":          "Recovered audit-lane panics.",
+	"audit_backlog":               "Audits waiting for idle capacity.",
+	"sample_stale":                "1 when a table's offline samples are stale relative to its version.",
+	"sample_stale_detected_total": "Audit-lane detections of stale offline samples.",
+	"breaker_trips_total":         "Circuit-breaker trips by engine.",
+	"breaker_open_total":          "Queries rejected by an open circuit breaker.",
+	"engine_tripped":              "1 when an engine's circuit breaker is open.",
+	"shard_exec_total":            "Per-shard scatter outcomes by table, shard, and outcome.",
+	"queue_depth":                 "Queries waiting for a worker slot.",
+	"in_flight":                   "Queries currently executing.",
+	"workers":                     "Worker-pool size.",
+	"queue_capacity":              "Admission queue capacity.",
+	"max_query_workers":           "Per-query morsel-parallel worker cap.",
+	"uptime_seconds":              "Server uptime in seconds.",
+	"aqpd_build_info":             "Build identity as labels; value is always 1.",
+	"slo_burn_rate":               "SLO error-budget burn rate by objective and window (1.0 = sustainable pace).",
+	"slo_error_budget_remaining":  "SLO error budget remaining over the slow window (1 = untouched, <0 = overdrawn).",
+}
+
+func writeHelpType(w io.Writer, fam, typ string) {
+	help := helpText[fam]
+	if help == "" {
+		help = "aqpd metric " + fam + "."
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam, help, fam, typ)
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
-// format 0.0.4: one `# TYPE` line per family, counter and gauge series
-// as-is, histograms expanded into cumulative `_bucket{le="..."}` series
-// plus `_sum` and `_count`. Gauges and build info are supplied by the
-// caller like in Snapshot; info becomes a constant `aqpd_build_info 1`
-// gauge with the identity as labels, the standard Prometheus idiom for
-// exposing versions.
-func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int64, info map[string]string) {
+// format 0.0.4: `# HELP` and `# TYPE` lines per family, counter and
+// gauge series as-is, histograms expanded into cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`. Millisecond
+// latency histogram families additionally get a `_seconds`-suffixed
+// unit-correct copy (bounds and sum scaled by 1e-3) under the SI-unit
+// name Prometheus conventions expect, while the original ms families
+// keep their names for dashboard compatibility. Gauges and build info
+// are supplied by the caller like in Snapshot; gaugesF carries
+// float-valued gauges (SLO burn rates); info becomes a constant
+// `aqpd_build_info 1` gauge with the identity as labels, the standard
+// Prometheus idiom for exposing versions.
+func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int64, gaugesF map[string]float64, info map[string]string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -25,7 +94,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int64, info map
 		counterFamilies[fam] = append(counterFamilies[fam], fmt.Sprintf("%s %d\n", k, v))
 	}
 	for _, fam := range sortedKeys(counterFamilies) {
-		fmt.Fprintf(w, "# TYPE %s counter\n", fam)
+		writeHelpType(w, fam, "counter")
 		series := counterFamilies[fam]
 		sort.Strings(series)
 		for _, line := range series {
@@ -40,8 +109,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int64, info map
 		fam, _ := splitKey(k)
 		gaugeFamilies[fam] = append(gaugeFamilies[fam], fmt.Sprintf("%s %d\n", k, v))
 	}
+	for k, v := range gaugesF {
+		fam, _ := splitKey(k)
+		gaugeFamilies[fam] = append(gaugeFamilies[fam], fmt.Sprintf("%s %s\n", k, formatFloat(v)))
+	}
 	for _, fam := range sortedKeys(gaugeFamilies) {
-		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
+		writeHelpType(w, fam, "gauge")
 		series := gaugeFamilies[fam]
 		sort.Strings(series)
 		for _, line := range series {
@@ -53,7 +126,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int64, info map
 		for _, k := range sortedKeys(info) {
 			labels = append(labels, k+`="`+EscapeLabelValue(info[k])+`"`)
 		}
-		fmt.Fprintf(w, "# TYPE aqpd_build_info gauge\naqpd_build_info{%s} 1\n", strings.Join(labels, ","))
+		writeHelpType(w, "aqpd_build_info", "gauge")
+		fmt.Fprintf(w, "aqpd_build_info{%s} 1\n", strings.Join(labels, ","))
 	}
 
 	// Histograms: buckets are cumulative in the exposition format, unlike
@@ -64,28 +138,39 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]int64, info map
 		histFamilies[fam] = append(histFamilies[fam], k)
 	}
 	for _, fam := range sortedKeys(histFamilies) {
-		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
 		series := histFamilies[fam]
 		sort.Strings(series)
-		for _, k := range series {
-			h := m.hists[k]
-			_, labels := splitKey(k)
-			var cum int64
-			for i, c := range h.counts {
-				cum += c
-				le := "+Inf"
-				if i < len(h.bounds) {
-					le = formatFloat(h.bounds[i])
-				}
-				fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, joinLabels(labels, `le="`+le+`"`), cum)
-			}
-			suffix := ""
-			if labels != "" {
-				suffix = "{" + labels + "}"
-			}
-			fmt.Fprintf(w, "%s_sum%s %s\n", fam, suffix, formatFloat(h.sum))
-			fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, h.total)
+		writeHistFamily(w, fam, series, m.hists, 1)
+		// Unit-correct copy for millisecond families: same observations,
+		// bounds and sum scaled to seconds.
+		if base, ok := strings.CutSuffix(fam, "_ms"); ok {
+			writeHistFamily(w, base+"_seconds", series, m.hists, 1e-3)
 		}
+	}
+}
+
+// writeHistFamily renders one histogram family, scaling bounds and sums
+// by scale (1 renders as-is; 1e-3 converts ms to seconds).
+func writeHistFamily(w io.Writer, fam string, seriesKeys []string, hists map[string]*histogram, scale float64) {
+	writeHelpType(w, fam, "histogram")
+	for _, k := range seriesKeys {
+		h := hists[k]
+		_, labels := splitKey(k)
+		var cum int64
+		for i, c := range h.counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i] * scale)
+			}
+			fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, joinLabels(labels, `le="`+le+`"`), cum)
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(w, "%s_sum%s %s\n", fam, suffix, formatFloat(h.sum*scale))
+		fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, h.total)
 	}
 }
 

@@ -61,11 +61,12 @@ type promSeries struct {
 }
 
 // parseProm is a minimal Prometheus text-format 0.0.4 parser: it returns
-// the TYPE declarations and every sample line, failing the test on any
-// line it cannot parse.
-func parseProm(t *testing.T, text string) (types map[string]string, series []promSeries) {
+// the TYPE declarations, the HELP texts, and every sample line, failing
+// the test on any line it cannot parse.
+func parseProm(t *testing.T, text string) (types, helps map[string]string, series []promSeries) {
 	t.Helper()
 	types = make(map[string]string)
+	helps = make(map[string]string)
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		if strings.HasPrefix(line, "# TYPE ") {
 			parts := strings.Fields(line)
@@ -73,6 +74,14 @@ func parseProm(t *testing.T, text string) (types map[string]string, series []pro
 				t.Fatalf("bad TYPE line: %q", line)
 			}
 			types[parts[2]] = parts[3]
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			fam, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("bad HELP line: %q", line)
+			}
+			helps[fam] = help
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -107,7 +116,7 @@ func parseProm(t *testing.T, text string) (types map[string]string, series []pro
 		}
 		series = append(series, s)
 	}
-	return types, series
+	return types, helps, series
 }
 
 func TestPrometheusExposition(t *testing.T) {
@@ -131,7 +140,46 @@ func TestPrometheusExposition(t *testing.T) {
 		t.Fatalf("content type = %q", ct)
 	}
 	body, _ := io.ReadAll(resp.Body)
-	types, series := parseProm(t, string(body))
+	types, helps, series := parseProm(t, string(body))
+
+	// Every declared family carries a HELP line, and the registered
+	// families carry their curated sentence rather than the fallback.
+	for fam := range types {
+		if helps[fam] == "" {
+			t.Fatalf("family %q declared without a HELP line", fam)
+		}
+	}
+	for _, fam := range []string{"queries_total", "query_latency_ms", "query_latency_seconds", "uptime_seconds"} {
+		if strings.HasPrefix(helps[fam], "aqpd metric") {
+			t.Fatalf("family %q has fallback HELP %q, want a curated sentence", fam, helps[fam])
+		}
+	}
+
+	// Millisecond histogram families get a unit-correct _seconds copy:
+	// same per-series counts, bounds and sums scaled by 1e-3, original
+	// name preserved.
+	if types["query_latency_seconds"] != "histogram" {
+		t.Fatalf("query_latency_seconds type = %q, want histogram", types["query_latency_seconds"])
+	}
+	var msSum, secSum, msCount, secCount float64
+	for _, s := range series {
+		switch s.name {
+		case "query_latency_ms_sum":
+			msSum += s.value
+		case "query_latency_seconds_sum":
+			secSum += s.value
+		case "query_latency_ms_count":
+			msCount += s.value
+		case "query_latency_seconds_count":
+			secCount += s.value
+		}
+	}
+	if msCount == 0 || msCount != secCount {
+		t.Fatalf("latency counts: ms=%v seconds=%v, want equal and nonzero", msCount, secCount)
+	}
+	if diff := msSum/1e3 - secSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("latency sums: ms=%v seconds=%v, want seconds = ms/1000", msSum, secSum)
+	}
 
 	if types["queries_total"] != "counter" {
 		t.Fatalf("queries_total type = %q, want counter (types: %v)", types["queries_total"], types)

@@ -25,6 +25,8 @@ import (
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config tunes the service.
@@ -77,6 +79,25 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker stays open before
 	// granting a half-open probe (default 5s).
 	BreakerCooldown time.Duration
+	// Telemetry enables the observability layer: the metric time-series
+	// store (GET /metrics/history), the SLO engine (GET /slo), the
+	// flight recorder (GET /debug/flightrecord), and the OTLP-shaped
+	// span export feed (GET /debug/spans). When enabled, every query is
+	// traced (observationally — results are bit-identical) so the
+	// flight recorder retains span trees.
+	Telemetry bool
+	// TelemetryStep is the time-series snapshot cadence (default 10s).
+	TelemetryStep time.Duration
+	// TelemetryWindow is the time-series retention window (default 15m).
+	TelemetryWindow time.Duration
+	// FlightQueries sizes the flight recorder's query rings (default 64).
+	FlightQueries int
+	// Objectives overrides the default SLO set (nil = DefaultObjectives).
+	Objectives []telemetry.Objective
+	// FlightSink, when non-nil, receives automatic flight-recorder
+	// dumps (panic containment, SLO fast burn). cmd/aqpd writes them to
+	// the -flight-dump path; tests capture them directly.
+	FlightSink func(telemetry.Bundle)
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +141,13 @@ type Server struct {
 	brk   map[string]*fault.Breaker // per-engine circuit breakers, read-only map
 	mux   *http.ServeMux
 	start time.Time
+
+	// Observability layer; all nil when Config.Telemetry is off.
+	tstore     *telemetry.Store
+	slo        *telemetry.SLO
+	flight     *telemetry.Recorder
+	spans      *telemetry.SpanExporter
+	flightSink func(telemetry.Bundle)
 }
 
 // New builds a server over db.
@@ -130,10 +158,13 @@ func New(db *aqp.DB, cfg Config) *Server {
 		cfg:   cfg,
 		adm:   NewAdmission(cfg.Workers, cfg.QueueCap),
 		met:   NewMetrics(),
-		brk:   newBreakers(cfg),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	if cfg.Telemetry {
+		s.initTelemetry(cfg)
+	}
+	s.brk = newBreakers(cfg, s.onBreakerTransition)
 	if cfg.AuditFraction > 0 {
 		// Ground truth runs through the exact path of the same DB; the
 		// admission controller is the idle gate, so audits only borrow
@@ -148,10 +179,16 @@ func New(db *aqp.DB, cfg Config) *Server {
 		})
 	}
 	// Per-shard outcome telemetry: one counter increment per shard per
-	// scatter, labeled by table, shard, and outcome.
+	// scatter, labeled by table, shard, and outcome; the flight recorder
+	// additionally retains non-ok outcomes as events.
 	db.Shards().SetObserver(func(ev shard.Event) {
 		s.met.Inc(fmt.Sprintf(`shard_exec_total{outcome="%s",shard="%d",table="%s"}`,
 			EscapeLabelValue(ev.Type), ev.Shard, EscapeLabelValue(ev.Table)))
+		if s.flight != nil && ev.Type != "ok" {
+			s.flight.AddEvent(telemetry.Event{
+				Kind: "shard", Name: ev.Table, Detail: ev.Type, Shard: ev.Shard,
+			})
+		}
 	})
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/audit", s.handleAudit)
@@ -159,6 +196,10 @@ func New(db *aqp.DB, cfg Config) *Server {
 	s.mux.HandleFunc("/tables", s.handleTables)
 	s.mux.HandleFunc("/samples/build", s.handleBuildSamples)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics/history", s.handleMetricsHistory)
+	s.mux.HandleFunc("/slo", s.handleSLO)
+	s.mux.HandleFunc("/debug/flightrecord", s.handleFlightRecord)
+	s.mux.HandleFunc("/debug/spans", s.handleSpans)
 	s.mux.HandleFunc("/faults", s.handleFaults)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if cfg.EnablePprof {
@@ -192,6 +233,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.adm.Drain(ctx)
 	if s.aud != nil {
 		s.aud.Close()
+	}
+	if s.tstore != nil {
+		s.tstore.Close()
+		fault.SetOnFire(nil)
 	}
 	return err
 }
@@ -295,6 +340,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			if !pw.wrote {
 				writeError(w, http.StatusInternalServerError, "%v", core.Classify(err))
 			}
+			// A contained handler panic is exactly what the flight
+			// recorder exists for: dump automatically.
+			if s.flight != nil && s.flightSink != nil {
+				s.flightSink(s.FlightBundle("panic"))
+			}
 		}
 	}()
 	var req QueryRequest
@@ -357,15 +407,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Per-request tracing: install a tracer so engine/operator spans are
 	// recorded, and embed the profile tree in the response. Tracing only
-	// observes; traced results are bit-identical to untraced ones.
-	var prof *aqp.QueryProfile
-	if req.Trace {
-		ctx, prof = aqp.WithProfile(ctx)
+	// observes; traced results are bit-identical to untraced ones. With
+	// telemetry on, every query is traced so the flight recorder retains
+	// span trees; an inbound W3C traceparent header joins its trace, so
+	// the query's spans carry the caller's trace ID.
+	var tr *trace.Tracer
+	if req.Trace || s.flight != nil {
+		tid, parentSpan, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		tr = trace.NewWithParent("query", tid, parentSpan)
+		ctx = trace.WithTracer(ctx, tr)
 	}
 
 	start := time.Now()
 	res, degradedFrom, err := s.executeResilient(ctx, r.Context(), req, workers)
 	elapsed := time.Since(start)
+	var prof *trace.Profile
+	if tr != nil {
+		prof = tr.Profile()
+		w.Header().Set("traceparent", tr.Root().Traceparent())
+	}
 	if err != nil {
 		err = core.Classify(err)
 		status := http.StatusBadRequest
@@ -389,6 +449,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			"sql", req.SQL, "mode", req.Mode,
 			"latency_ms", float64(elapsed.Microseconds())/1e3,
 			"status", status, "err", err.Error())
+		s.recordQuery(telemetry.QueryRecord{
+			Start: start, SQL: req.SQL, Mode: req.Mode,
+			Status: status, Err: err.Error(),
+			LatencyMS: float64(elapsed.Microseconds()) / 1e3,
+		}, prof)
 		writeError(w, status, "%v", err)
 		return
 	}
@@ -447,10 +512,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// existed, so the audit stream is an unbiased sample of production.
 	s.aud.Offer(res, req.SQL)
 
+	contractVerdict := ""
+	if c := res.Diagnostics.Contract; c != nil {
+		contractVerdict = string(c.Verdict)
+	}
+	s.recordQuery(telemetry.QueryRecord{
+		Start: start, SQL: req.SQL, Mode: req.Mode,
+		Technique: tech, Status: http.StatusOK,
+		LatencyMS:       latencyMS,
+		RowsScanned:     res.Diagnostics.Counters.RowsScanned,
+		Degraded:        res.Diagnostics.Degraded,
+		DegradedFrom:    degradedFrom,
+		Partial:         res.Diagnostics.Partial,
+		ContractVerdict: contractVerdict,
+	}, prof)
+
 	resp := encodeResult(res)
 	resp.DegradedFrom = degradedFrom
 	if prof != nil {
-		resp.Trace = prof.Profile()
+		resp.TraceID = prof.TraceID
+	}
+	if req.Trace && prof != nil {
+		resp.Trace = prof
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -640,12 +723,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			gauges[Key("sample_stale", "table", t.Table)] = v
 		}
 	}
+	gaugesF := s.sloGauges()
 	if r.URL.Query().Get("format") == "prom" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.met.WritePrometheus(w, gauges, BuildInfo())
+		s.met.WritePrometheus(w, gauges, gaugesF, BuildInfo())
 		return
 	}
 	snap := s.met.Snapshot(gauges)
+	snap.GaugesF = gaugesF
 	snap.Info = BuildInfo()
 	writeJSON(w, http.StatusOK, snap)
 }

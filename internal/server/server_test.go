@@ -14,6 +14,7 @@ import (
 	"time"
 
 	aqp "repro"
+	"repro/internal/fault"
 )
 
 // buildDB creates a db with one table t(id BIGINT, x DOUBLE, g VARCHAR)
@@ -337,6 +338,14 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	srv := New(db, Config{Workers: 4, QueueCap: 4})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+
+	// Pin every query in-flight with injected post-admission latency:
+	// on a fast machine the bare scans finish before all four clients'
+	// requests overlap, and the drain would have nothing to observe.
+	fault.Install(fault.Schedule{Seed: 1, Rules: []fault.Rule{
+		{Point: "server.query", Kind: fault.KindLatency, P: 1, Latency: 300 * time.Millisecond},
+	}})
+	defer fault.Uninstall()
 
 	const running = 4
 	results := make(chan int, running)

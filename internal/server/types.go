@@ -81,6 +81,11 @@ type QueryResponse struct {
 	// Workers is the morsel-parallel worker count the query ran with.
 	Workers  int      `json:"workers,omitempty"`
 	Messages []string `json:"messages,omitempty"`
+	// TraceID is the query's 128-bit trace identifier (lowercase hex),
+	// present whenever the query was traced (request "trace": true, or
+	// server telemetry on). An inbound traceparent header's trace ID is
+	// adopted, so callers can correlate.
+	TraceID string `json:"trace_id,omitempty"`
 	// Trace is the span profile tree, present when the request set
 	// "trace": true.
 	Trace *trace.Profile `json:"trace,omitempty"`

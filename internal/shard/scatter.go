@@ -137,9 +137,15 @@ func (g *Group) Scatter(ctx context.Context, stmt *sqlparse.SelectStmt, opt Exec
 	defer sp.End()
 
 	// Pre-create per-shard spans in index order so profiles are stable.
+	// Each leg is stamped with its own W3C traceparent — the exact header
+	// a remote-shard RPC will carry when this seam goes over the wire —
+	// so exported spans prove context propagation per leg.
 	spans := make([]*trace.Span, n)
 	for i := range g.shards {
 		spans[i] = sp.StartChild(fmt.Sprintf("shard %d (%d rows)", i, g.shards[i].Rows()))
+		if tp := spans[i].Traceparent(); tp != "" {
+			spans[i].SetAttr("traceparent", tp)
+		}
 	}
 
 	parts := make([]*exec.AggPartial, n)

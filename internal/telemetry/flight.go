@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Event is one process event the flight recorder retains alongside
+// query records: a fault-point fire, a circuit-breaker transition, or a
+// per-shard scatter outcome.
+type Event struct {
+	T time.Time `json:"t"`
+	// Kind is "fault_fire", "breaker", or "shard".
+	Kind string `json:"kind"`
+	// Name identifies the subject: fault-point name, breaker's engine,
+	// or sharded table.
+	Name string `json:"name"`
+	// Detail carries the specifics: the fired fault kind, the breaker
+	// transition ("closed->open"), or the shard outcome ("ok", "fail").
+	Detail string `json:"detail,omitempty"`
+	// Shard is the shard index for shard events (-1 otherwise).
+	Shard int `json:"shard,omitempty"`
+}
+
+// QueryRecord is one query's postmortem record.
+type QueryRecord struct {
+	Seq     uint64    `json:"seq"`
+	Start   time.Time `json:"start"`
+	TraceID string    `json:"trace_id,omitempty"`
+	SQL     string    `json:"sql"`
+	Mode    string    `json:"mode,omitempty"`
+
+	Technique    string  `json:"technique,omitempty"`
+	Status       int     `json:"status"`
+	Err          string  `json:"err,omitempty"`
+	LatencyMS    float64 `json:"latency_ms"`
+	RowsScanned  int64   `json:"rows_scanned,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	DegradedFrom string  `json:"degraded_from,omitempty"`
+	Partial      bool    `json:"partial,omitempty"`
+	// ContractVerdict is "met", "missed", or "infeasible" for contract
+	// queries ("" otherwise).
+	ContractVerdict string `json:"contract_verdict,omitempty"`
+
+	// Keep names why this record was pinned to the always-keep ring:
+	// "error", "degraded", "contract_missed", or "slow" ("" = recent
+	// ring only).
+	Keep string `json:"keep,omitempty"`
+	// Events are the process events whose timestamps fall inside this
+	// query's execution window — under concurrency an event may be
+	// attributed to several overlapping queries, which is the honest
+	// reading of a process-global fault.
+	Events []Event `json:"events,omitempty"`
+	// Spans is the query's full span tree.
+	Spans *trace.Profile `json:"spans,omitempty"`
+}
+
+// RecorderConfig sizes the flight recorder.
+type RecorderConfig struct {
+	// Queries is each ring's capacity: the recorder keeps the last
+	// Queries queries AND the last Queries notable (errored, degraded,
+	// contract-missed, slowest-decile) queries (default 64).
+	Queries int
+	// Events is the process-event ring capacity (default 4*Queries).
+	Events int
+}
+
+func (c RecorderConfig) withDefaults() RecorderConfig {
+	if c.Queries <= 0 {
+		c.Queries = 64
+	}
+	if c.Events <= 0 {
+		c.Events = 4 * c.Queries
+	}
+	return c
+}
+
+// Recorder is the bounded flight recorder: two query rings (recent and
+// notable) plus a process-event ring. All appends are O(1) under one
+// mutex; nothing here is on a per-row path.
+type Recorder struct {
+	cfg RecorderConfig
+
+	mu      sync.Mutex
+	seq     uint64
+	recent  []QueryRecord // ring
+	notable []QueryRecord // ring of always-keep records
+	rHead   int
+	nHead   int
+	rN, nN  int
+	events  []Event // ring
+	eHead   int
+	eN      int
+	lats    []float64 // ring of recent latencies for the slow-decile cut
+	lHead   int
+	lN      int
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	cfg = cfg.withDefaults()
+	return &Recorder{
+		cfg:     cfg,
+		recent:  make([]QueryRecord, cfg.Queries),
+		notable: make([]QueryRecord, cfg.Queries),
+		events:  make([]Event, cfg.Events),
+		lats:    make([]float64, 128),
+	}
+}
+
+// AddEvent appends one process event.
+func (r *Recorder) AddEvent(ev Event) {
+	if r == nil {
+		return
+	}
+	if ev.T.IsZero() {
+		ev.T = time.Now()
+	}
+	r.mu.Lock()
+	r.events[r.eHead] = ev
+	r.eHead = (r.eHead + 1) % len(r.events)
+	if r.eN < len(r.events) {
+		r.eN++
+	}
+	r.mu.Unlock()
+}
+
+// slowCutLocked returns the rolling 90th-percentile latency (the
+// slowest-decile threshold), or +Inf while fewer than 20 latencies have
+// been seen — early queries must not all be pinned as "slow".
+func (r *Recorder) slowCutLocked() float64 {
+	if r.lN < 20 {
+		return inf
+	}
+	tmp := make([]float64, r.lN)
+	copy(tmp, r.lats[:r.lN])
+	sort.Float64s(tmp)
+	return tmp[(r.lN*9)/10]
+}
+
+const inf = 1e308
+
+// Record files one completed query. It stamps the sequence number,
+// decides the always-keep reason, attaches overlapping process events,
+// and appends to the ring(s).
+func (r *Recorder) Record(qr QueryRecord) {
+	if r == nil {
+		return
+	}
+	end := qr.Start.Add(time.Duration(qr.LatencyMS * float64(time.Millisecond)))
+	r.mu.Lock()
+	r.seq++
+	qr.Seq = r.seq
+
+	// Attribute process events inside [Start, end].
+	start := r.eHead - r.eN
+	if start < 0 {
+		start += len(r.events)
+	}
+	for i := 0; i < r.eN; i++ {
+		ev := r.events[(start+i)%len(r.events)]
+		if !ev.T.Before(qr.Start) && !ev.T.After(end) {
+			qr.Events = append(qr.Events, ev)
+		}
+	}
+
+	// Always-keep sampling.
+	switch {
+	case qr.Status >= 400 || qr.Err != "":
+		qr.Keep = "error"
+	case qr.Degraded:
+		qr.Keep = "degraded"
+	case qr.ContractVerdict != "" && qr.ContractVerdict != "met":
+		qr.Keep = "contract_" + qr.ContractVerdict
+	case qr.LatencyMS >= r.slowCutLocked():
+		qr.Keep = "slow"
+	}
+
+	r.lats[r.lHead] = qr.LatencyMS
+	r.lHead = (r.lHead + 1) % len(r.lats)
+	if r.lN < len(r.lats) {
+		r.lN++
+	}
+
+	r.recent[r.rHead] = qr
+	r.rHead = (r.rHead + 1) % len(r.recent)
+	if r.rN < len(r.recent) {
+		r.rN++
+	}
+	if qr.Keep != "" {
+		r.notable[r.nHead] = qr
+		r.nHead = (r.nHead + 1) % len(r.notable)
+		if r.nN < len(r.notable) {
+			r.nN++
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Bundle is one flight-recorder dump: every retained query record
+// (recent ∪ notable, deduplicated, oldest first) plus the raw process-
+// event ring.
+type Bundle struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	// Reason says what triggered the dump: "http", "sigquit", "panic",
+	// or "slo_fast_burn:<objective>".
+	Reason  string        `json:"reason"`
+	Queries []QueryRecord `json:"queries"`
+	Events  []Event       `json:"events"`
+	// SLO carries the objective statuses at dump time when the caller
+	// supplied them.
+	SLO []ObjectiveStatus `json:"slo,omitempty"`
+	// Info is free-form identity (build info, uptime).
+	Info map[string]string `json:"info,omitempty"`
+}
+
+// Snapshot assembles a Bundle (without SLO/Info; callers add those).
+func (r *Recorder) Snapshot(reason string) Bundle {
+	b := Bundle{GeneratedAt: time.Now(), Reason: reason}
+	if r == nil {
+		return b
+	}
+	r.mu.Lock()
+	seen := make(map[uint64]bool, r.rN+r.nN)
+	collect := func(ring []QueryRecord, head, n int) {
+		start := head - n
+		if start < 0 {
+			start += len(ring)
+		}
+		for i := 0; i < n; i++ {
+			qr := ring[(start+i)%len(ring)]
+			if !seen[qr.Seq] {
+				seen[qr.Seq] = true
+				b.Queries = append(b.Queries, qr)
+			}
+		}
+	}
+	collect(r.notable, r.nHead, r.nN)
+	collect(r.recent, r.rHead, r.rN)
+	estart := r.eHead - r.eN
+	if estart < 0 {
+		estart += len(r.events)
+	}
+	for i := 0; i < r.eN; i++ {
+		b.Events = append(b.Events, r.events[(estart+i)%len(r.events)])
+	}
+	r.mu.Unlock()
+	sort.Slice(b.Queries, func(i, j int) bool { return b.Queries[i].Seq < b.Queries[j].Seq })
+	return b
+}
+
+// WriteJSON serializes a bundle as indented JSON.
+func (b Bundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

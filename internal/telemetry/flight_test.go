@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestRecorderKeepReasons(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Queries: 8})
+	t0 := time.Unix(1000, 0)
+
+	r.Record(QueryRecord{Start: t0, SQL: "ok", Status: 200, LatencyMS: 5})
+	r.Record(QueryRecord{Start: t0, SQL: "boom", Status: 500, Err: "x", LatencyMS: 5})
+	r.Record(QueryRecord{Start: t0, SQL: "deg", Status: 200, Degraded: true, LatencyMS: 5})
+	r.Record(QueryRecord{Start: t0, SQL: "miss", Status: 200, ContractVerdict: "missed", LatencyMS: 5})
+	r.Record(QueryRecord{Start: t0, SQL: "held", Status: 200, ContractVerdict: "met", LatencyMS: 5})
+
+	b := r.Snapshot("test")
+	keeps := map[string]string{}
+	for _, q := range b.Queries {
+		keeps[q.SQL] = q.Keep
+	}
+	want := map[string]string{
+		"ok":   "",
+		"boom": "error",
+		"deg":  "degraded",
+		"miss": "contract_missed",
+		"held": "",
+	}
+	for sql, k := range want {
+		if keeps[sql] != k {
+			t.Errorf("query %q keep = %q, want %q", sql, keeps[sql], k)
+		}
+	}
+}
+
+func TestRecorderSlowDecile(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Queries: 256})
+	t0 := time.Unix(1000, 0)
+	// 100 fast queries establish the latency distribution.
+	for i := 0; i < 100; i++ {
+		r.Record(QueryRecord{Start: t0, SQL: "fast", Status: 200, LatencyMS: 10})
+	}
+	// An outlier must be pinned as "slow".
+	r.Record(QueryRecord{Start: t0, SQL: "outlier", Status: 200, LatencyMS: 500})
+	b := r.Snapshot("test")
+	var got string
+	for _, q := range b.Queries {
+		if q.SQL == "outlier" {
+			got = q.Keep
+		}
+	}
+	if got != "slow" {
+		t.Fatalf("outlier keep = %q, want slow", got)
+	}
+	// Early queries (before 20 samples) are never pinned as slow.
+	r2 := NewRecorder(RecorderConfig{Queries: 8})
+	r2.Record(QueryRecord{Start: t0, SQL: "first", Status: 200, LatencyMS: 500})
+	if b := r2.Snapshot("t"); b.Queries[0].Keep != "" {
+		t.Fatalf("first query pinned %q before distribution warmed", b.Queries[0].Keep)
+	}
+}
+
+func TestRecorderNotableSurvivesRecentEviction(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Queries: 4})
+	t0 := time.Unix(1000, 0)
+	r.Record(QueryRecord{Start: t0, SQL: "bad", Status: 500, LatencyMS: 1})
+	for i := 0; i < 10; i++ {
+		r.Record(QueryRecord{Start: t0, SQL: "filler", Status: 200, LatencyMS: 1})
+	}
+	b := r.Snapshot("test")
+	found := false
+	for _, q := range b.Queries {
+		if q.SQL == "bad" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("errored query evicted from bundle despite always-keep")
+	}
+	// Bundle must be Seq-sorted and deduplicated.
+	seen := map[uint64]bool{}
+	for i, q := range b.Queries {
+		if seen[q.Seq] {
+			t.Fatalf("duplicate seq %d", q.Seq)
+		}
+		seen[q.Seq] = true
+		if i > 0 && q.Seq <= b.Queries[i-1].Seq {
+			t.Fatalf("bundle not sorted at %d", i)
+		}
+	}
+}
+
+func TestRecorderEventAttribution(t *testing.T) {
+	r := NewRecorder(RecorderConfig{})
+	t0 := time.Unix(1000, 0)
+	r.AddEvent(Event{T: t0.Add(-time.Second), Kind: "fault_fire", Name: "before"})
+	r.AddEvent(Event{T: t0.Add(5 * time.Millisecond), Kind: "fault_fire", Name: "during"})
+	r.AddEvent(Event{T: t0.Add(time.Hour), Kind: "fault_fire", Name: "after"})
+	r.Record(QueryRecord{Start: t0, SQL: "q", Status: 200, LatencyMS: 10})
+	b := r.Snapshot("test")
+	if len(b.Queries) != 1 {
+		t.Fatalf("queries = %d", len(b.Queries))
+	}
+	evs := b.Queries[0].Events
+	if len(evs) != 1 || evs[0].Name != "during" {
+		t.Fatalf("attributed events = %+v, want exactly [during]", evs)
+	}
+	if len(b.Events) != 3 {
+		t.Fatalf("bundle event ring has %d events, want 3", len(b.Events))
+	}
+}
+
+func TestRecorderEventRingBounded(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Queries: 2, Events: 4})
+	for i := 0; i < 20; i++ {
+		r.AddEvent(Event{Kind: "breaker", Name: "x"})
+	}
+	if b := r.Snapshot("test"); len(b.Events) != 4 {
+		t.Fatalf("event ring retained %d, want 4", len(b.Events))
+	}
+}
+
+func TestBundleJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(RecorderConfig{})
+	r.Record(QueryRecord{Start: time.Unix(1000, 0), SQL: "select 1", Status: 200, LatencyMS: 2})
+	b := r.Snapshot("sigquit")
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Bundle
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("bundle JSON does not round-trip: %v", err)
+	}
+	if back.Reason != "sigquit" || len(back.Queries) != 1 {
+		t.Fatalf("round-trip = %+v", back)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(QueryRecord{})
+	r.AddEvent(Event{})
+	if b := r.Snapshot("x"); len(b.Queries) != 0 {
+		t.Fatal("nil recorder returned queries")
+	}
+}

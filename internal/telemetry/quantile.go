@@ -1,0 +1,81 @@
+package telemetry
+
+import "math"
+
+// HistQuantile estimates the q-quantile (q in [0, 1]) of the
+// observations summarized by a cumulative fixed-bucket histogram, using
+// linear interpolation within the bucket that contains the target rank —
+// the same estimator Prometheus's histogram_quantile applies.
+//
+// Conventions:
+//   - The first bucket interpolates over [0, Bounds[0]]: every histogram
+//     in this system (latencies, relative CI widths, row counts) is
+//     non-negative, so zero is the honest lower edge.
+//   - A rank landing exactly on a bucket's cumulative count returns that
+//     bucket's upper bound exactly.
+//   - A rank inside the +Inf bucket returns the largest finite bound —
+//     the histogram cannot resolve anything beyond it, and a finite
+//     answer keeps burn-rate math well-defined.
+//   - An empty histogram (Count == 0 or no buckets) returns NaN.
+func HistQuantile(h Hist, q float64) float64 {
+	if h.Count <= 0 || len(h.Cum) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * h.Count
+	// Find the first bucket whose cumulative count reaches the rank.
+	i := 0
+	for i < len(h.Cum) && h.Cum[i] < rank {
+		i++
+	}
+	if i >= len(h.Bounds) {
+		// +Inf bucket: report the largest finite bound.
+		if len(h.Bounds) == 0 {
+			return math.NaN()
+		}
+		return h.Bounds[len(h.Bounds)-1]
+	}
+	lo := 0.0
+	prev := 0.0
+	if i > 0 {
+		lo = h.Bounds[i-1]
+		prev = h.Cum[i-1]
+	}
+	hi := h.Bounds[i]
+	inBucket := h.Cum[i] - prev
+	if inBucket <= 0 {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-prev)/inBucket
+}
+
+// HistCumAt linearly interpolates the cumulative observation count at
+// value v from the histogram's bucket bounds — the inverse direction of
+// HistQuantile, used to split a latency histogram into good (≤ v) and
+// bad (> v) events for an SLO. Values past the last finite bound count
+// only the finite buckets as good: the +Inf bucket's contents are
+// indistinguishable from arbitrarily bad.
+func HistCumAt(h Hist, v float64) float64 {
+	if len(h.Cum) == 0 {
+		return 0
+	}
+	prev := 0.0
+	lo := 0.0
+	for i, b := range h.Bounds {
+		if v < b {
+			inBucket := h.Cum[i] - prev
+			if b == lo {
+				return h.Cum[i]
+			}
+			return prev + inBucket*(v-lo)/(b-lo)
+		}
+		prev = h.Cum[i]
+		lo = b
+	}
+	return prev
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// histFromObs builds a cumulative Hist over the given bounds from raw
+// observations — the same bucketing the server's histogram applies.
+func histFromObs(bounds []float64, obs []float64) Hist {
+	h := Hist{Bounds: bounds, Cum: make([]float64, len(bounds)+1)}
+	for _, v := range obs {
+		h.Sum += v
+		h.Count++
+		for i, b := range bounds {
+			if v <= b {
+				h.Cum[i]++
+			}
+		}
+	}
+	h.Cum[len(bounds)] = h.Count
+	return h
+}
+
+func TestHistQuantileEmpty(t *testing.T) {
+	if got := HistQuantile(Hist{}, 0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %g, want NaN", got)
+	}
+	h := Hist{Bounds: []float64{1}, Cum: []float64{0, 0}}
+	if got := HistQuantile(h, 0.5); !math.IsNaN(got) {
+		t.Fatalf("zero-count histogram quantile = %g, want NaN", got)
+	}
+}
+
+func TestHistQuantileExactAtBound(t *testing.T) {
+	// 10 observations, all cumulative mass exactly at bounds: rank q=0.4
+	// lands exactly on Cum[0]=4 → must return Bounds[0] exactly.
+	h := Hist{Bounds: []float64{10, 20, 30}, Cum: []float64{4, 8, 10, 10}, Count: 10}
+	if got := HistQuantile(h, 0.4); got != 10 {
+		t.Fatalf("exact-at-bound q0.4 = %g, want 10", got)
+	}
+	if got := HistQuantile(h, 0.8); got != 20 {
+		t.Fatalf("exact-at-bound q0.8 = %g, want 20", got)
+	}
+	if got := HistQuantile(h, 1); got != 30 {
+		t.Fatalf("q1.0 = %g, want 30", got)
+	}
+}
+
+func TestHistQuantileSingleBucket(t *testing.T) {
+	// All mass in one bucket [0, 100]: quantiles interpolate linearly
+	// from zero.
+	h := Hist{Bounds: []float64{100}, Cum: []float64{10, 10}, Count: 10}
+	if got := HistQuantile(h, 0.5); got != 50 {
+		t.Fatalf("single-bucket median = %g, want 50", got)
+	}
+	if got := HistQuantile(h, 0.1); got != 10 {
+		t.Fatalf("single-bucket q0.1 = %g, want 10", got)
+	}
+}
+
+func TestHistQuantileInfBucket(t *testing.T) {
+	// Half the mass beyond the last finite bound: the +Inf bucket cannot
+	// be resolved, so quantiles inside it clamp to the last finite bound.
+	h := Hist{Bounds: []float64{10, 100}, Cum: []float64{2, 5, 10}, Count: 10}
+	if got := HistQuantile(h, 0.99); got != 100 {
+		t.Fatalf("+Inf bucket q0.99 = %g, want 100 (last finite bound)", got)
+	}
+}
+
+func TestHistQuantileClampsQ(t *testing.T) {
+	h := Hist{Bounds: []float64{100}, Cum: []float64{10, 10}, Count: 10}
+	if got := HistQuantile(h, -0.5); got != 0 {
+		t.Fatalf("q<0 = %g, want 0", got)
+	}
+	if got := HistQuantile(h, 2); got != 100 {
+		t.Fatalf("q>1 = %g, want 100", got)
+	}
+	if got := HistQuantile(h, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("q=NaN = %g, want NaN", got)
+	}
+}
+
+// TestHistQuantileProperty compares the interpolated estimate against a
+// brute-force quantile of the raw observations: the estimate must land
+// within one bucket width of the truth, for random observation sets and
+// random quantiles.
+func TestHistQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bounds := []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000}
+	for trial := 0; trial < 50; trial++ {
+		n := 50 + rng.Intn(500)
+		obs := make([]float64, n)
+		for i := range obs {
+			// Log-uniform over (0.1, ~900): exercises every bucket.
+			obs[i] = 0.1 * math.Pow(10, rng.Float64()*3.96)
+		}
+		h := histFromObs(bounds, obs)
+		sorted := append([]float64(nil), obs...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			est := HistQuantile(h, q)
+			idx := int(q * float64(n))
+			if idx >= n {
+				idx = n - 1
+			}
+			truth := sorted[idx]
+			// Locate truth's bucket; est must be within that bucket's
+			// span (linear interpolation cannot leave the bucket).
+			lo, hi := 0.0, bounds[len(bounds)-1]
+			for i, b := range bounds {
+				if truth <= b {
+					hi = b
+					if i > 0 {
+						lo = bounds[i-1]
+					} else {
+						lo = 0
+					}
+					break
+				}
+			}
+			if est < lo-1e-9 || est > hi+1e-9 {
+				t.Fatalf("trial %d q=%g: estimate %g outside truth bucket [%g, %g] (truth %g)",
+					trial, q, est, lo, hi, truth)
+			}
+		}
+	}
+}
+
+func TestHistCumAt(t *testing.T) {
+	// 10 obs: 4 in (0,10], 4 in (10,20], 2 in +Inf.
+	h := Hist{Bounds: []float64{10, 20}, Cum: []float64{4, 8, 10}, Count: 10}
+	if got := HistCumAt(h, 10); got != 4 {
+		t.Fatalf("CumAt(10) = %g, want 4", got)
+	}
+	if got := HistCumAt(h, 15); got != 6 {
+		t.Fatalf("CumAt(15) = %g, want 6 (linear)", got)
+	}
+	if got := HistCumAt(h, 5); got != 2 {
+		t.Fatalf("CumAt(5) = %g, want 2", got)
+	}
+	// Beyond the last finite bound only finite buckets count as good.
+	if got := HistCumAt(h, 1e9); got != 8 {
+		t.Fatalf("CumAt(1e9) = %g, want 8", got)
+	}
+	if got := HistCumAt(Hist{}, 5); got != 0 {
+		t.Fatalf("CumAt empty = %g, want 0", got)
+	}
+}

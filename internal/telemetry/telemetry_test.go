@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock produces samples with controlled timestamps.
+type fakeClock struct {
+	t time.Time
+	n float64
+}
+
+func (c *fakeClock) sample(step time.Duration, perStep float64) Sample {
+	c.t = c.t.Add(step)
+	c.n += perStep
+	return Sample{
+		T:        c.t,
+		Counters: map[string]float64{"queries_total": c.n},
+	}
+}
+
+func TestStoreRingWraps(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var next Sample
+	s := NewStore(StoreConfig{
+		Step:    10 * time.Second,
+		Window:  50 * time.Second, // capacity 5
+		Collect: func() Sample { return next },
+	})
+	for i := 0; i < 12; i++ {
+		next = clk.sample(10*time.Second, 1)
+		s.Snap()
+	}
+	got := s.Samples()
+	if len(got) != 5 {
+		t.Fatalf("ring retained %d samples, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i].T.After(got[i-1].T) {
+			t.Fatalf("samples out of order at %d: %v !after %v", i, got[i].T, got[i-1].T)
+		}
+	}
+	// The newest sample must be the 12th snap.
+	if got[4].Counters["queries_total"] != 12 {
+		t.Fatalf("newest sample counter = %g, want 12", got[4].Counters["queries_total"])
+	}
+}
+
+func TestStoreHistoryWindowAndDownsample(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var next Sample
+	s := NewStore(StoreConfig{
+		Step:    time.Second,
+		Window:  time.Minute,
+		Collect: func() Sample { return next },
+	})
+	for i := 0; i < 30; i++ {
+		next = clk.sample(time.Second, 1)
+		s.Snap()
+	}
+	// Trailing 10s window at raw cadence: samples inside (latest-10s, latest].
+	h := s.History(10*time.Second, 0)
+	if len(h) < 9 || len(h) > 11 {
+		t.Fatalf("10s window returned %d samples, want ~10", len(h))
+	}
+	// Downsample to 5s slots: roughly every 5th sample survives, and each
+	// survivor is the newest in its slot (counters only grow).
+	d := s.History(30*time.Second, 5*time.Second)
+	if len(d) >= len(s.History(30*time.Second, 0)) {
+		t.Fatalf("downsample did not reduce: %d", len(d))
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i].Counters["queries_total"] <= d[i-1].Counters["queries_total"] {
+			t.Fatalf("downsampled counters not increasing at %d", i)
+		}
+	}
+}
+
+func TestStoreWindowEdges(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var next Sample
+	s := NewStore(StoreConfig{
+		Step:    10 * time.Second,
+		Window:  10 * time.Minute,
+		Collect: func() Sample { return next },
+	})
+	if _, _, ok := s.WindowEdges(time.Minute); ok {
+		t.Fatal("WindowEdges ok with zero samples")
+	}
+	for i := 0; i < 12; i++ { // spans 110s
+		next = clk.sample(10*time.Second, 1)
+		s.Snap()
+	}
+	old, latest, ok := s.WindowEdges(time.Minute)
+	if !ok {
+		t.Fatal("WindowEdges not ok")
+	}
+	if gap := latest.T.Sub(old.T); gap < time.Minute {
+		t.Fatalf("edge gap %v < requested 1m", gap)
+	}
+	// A window wider than retention falls back to the oldest sample.
+	old2, _, _ := s.WindowEdges(time.Hour)
+	if old2.Counters["queries_total"] != 1 {
+		t.Fatalf("over-wide window old edge = %g, want oldest (1)", old2.Counters["queries_total"])
+	}
+}
+
+func TestStoreOnSnapAndTicker(t *testing.T) {
+	var seen atomic.Int64
+	s := NewStore(StoreConfig{
+		Step:    5 * time.Millisecond,
+		Window:  time.Second,
+		Collect: func() Sample { return Sample{} },
+		OnSnap:  func(Sample) { seen.Add(1) },
+	})
+	s.Start()
+	defer s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for seen.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := seen.Load(); n < 2 {
+		t.Fatalf("ticker produced %d snaps, want >= 2", n)
+	}
+	s.Close() // idempotent
+}
+
+func TestFamilySum(t *testing.T) {
+	counters := map[string]float64{
+		`queries_total{technique="exact"}`:  3,
+		`queries_total{technique="online"}`: 2,
+		`queries_totally_different`:         100,
+		`audit_covered_total`:               7,
+		`audit_missed_total`:                1,
+	}
+	if got := FamilySum(counters, "queries_total"); got != 5 {
+		t.Fatalf("FamilySum labeled = %g, want 5 (prefix guard failed?)", got)
+	}
+	if got := FamilySum(counters, "audit_covered_total+audit_missed_total"); got != 8 {
+		t.Fatalf("FamilySum joined = %g, want 8", got)
+	}
+	if got := FamilySum(counters, "absent_total"); got != 0 {
+		t.Fatalf("FamilySum absent = %g, want 0", got)
+	}
+}
+
+func TestFamilyHistSumAndDelta(t *testing.T) {
+	hists := map[string]Hist{
+		`lat_ms{technique="exact"}`:  {Bounds: []float64{1, 10}, Cum: []float64{1, 3, 4}, Sum: 20, Count: 4},
+		`lat_ms{technique="online"}`: {Bounds: []float64{1, 10}, Cum: []float64{0, 2, 2}, Sum: 8, Count: 2},
+	}
+	h, ok := FamilyHistSum(hists, "lat_ms")
+	if !ok {
+		t.Fatal("FamilyHistSum found nothing")
+	}
+	if h.Count != 6 || h.Cum[1] != 5 {
+		t.Fatalf("merged hist = %+v, want count 6 cum[1] 5", h)
+	}
+	if _, ok := FamilyHistSum(hists, "other"); ok {
+		t.Fatal("FamilyHistSum found a nonexistent family")
+	}
+
+	older := Hist{Bounds: []float64{1, 10}, Cum: []float64{1, 2, 3}, Sum: 10, Count: 3}
+	newer := Hist{Bounds: []float64{1, 10}, Cum: []float64{2, 5, 7}, Sum: 30, Count: 7}
+	d := DeltaHist(older, newer)
+	if d.Count != 4 || d.Cum[0] != 1 || d.Cum[1] != 3 || d.Cum[2] != 4 {
+		t.Fatalf("delta = %+v", d)
+	}
+	// Bound mismatch returns the newer snapshot unchanged.
+	mismatch := DeltaHist(Hist{Bounds: []float64{5}, Cum: []float64{1, 1}}, newer)
+	if mismatch.Count != newer.Count {
+		t.Fatalf("mismatch delta = %+v, want newer", mismatch)
+	}
+}
+
+func TestRate(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	older := Sample{T: t0, Counters: map[string]float64{"q_total": 10}}
+	newer := Sample{T: t0.Add(10 * time.Second), Counters: map[string]float64{"q_total": 30}}
+	if got := Rate(older, newer, "q_total"); got != 2 {
+		t.Fatalf("Rate = %g, want 2/s", got)
+	}
+	if got := Rate(newer, older, "q_total"); got != 0 {
+		t.Fatalf("Rate backwards = %g, want 0", got)
+	}
+}

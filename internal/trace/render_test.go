@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderGolden pins the exact tree rendering so formatting drift is
+// caught: right-aligned duration column sized to the widest label, rows
+// in/out, rows/s throughput, then attrs.
+func TestRenderGolden(t *testing.T) {
+	p := &Profile{
+		Name:       "query",
+		DurationMS: 12.4,
+		Children: []*Profile{
+			{
+				Name:       "engine exact",
+				DurationMS: 12.3,
+				RowsIn:     500000,
+				RowsOut:    1,
+				Children: []*Profile{
+					{
+						Name:       "HashAggregate",
+						DurationMS: 10,
+						RowsIn:     500000,
+						RowsOut:    1,
+						Attrs:      []Attr{{Key: "workers", Value: "4"}},
+					},
+					{
+						Name:       "scan t",
+						DurationMS: 2,
+						RowsOut:    500000,
+					},
+				},
+			},
+			{Name: "encode", DurationMS: 0.1},
+		},
+	}
+	got := p.String()
+	want := strings.Join([]string{
+		"query                        12.40ms",
+		"├─ engine exact              12.30ms  in=500000 out=1  81 rows/s",
+		"│  ├─ HashAggregate          10.00ms  in=500000 out=1  100 rows/s  workers=4",
+		"│  └─ scan t                  2.00ms  in=0 out=500000  250.0M rows/s",
+		"└─ encode                     0.10ms",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("rendering drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRenderWideLabels verifies the duration column moves right as a
+// unit when a deep label exceeds the minimum width.
+func TestRenderWideLabels(t *testing.T) {
+	p := &Profile{
+		Name:       "q",
+		DurationMS: 1,
+		Children: []*Profile{{
+			Name:       strings.Repeat("x", 40),
+			DurationMS: 1,
+		}},
+	}
+	lines := p.Lines()
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Both lines' duration fields must end at the same visual column
+	// (rune count — the branch glyphs are multi-byte).
+	col := func(line string) int { return len([]rune(line[:strings.Index(line, "ms")])) }
+	i0 := col(lines[0])
+	i1 := col(lines[1])
+	if i0 != i1 {
+		t.Fatalf("duration column misaligned: %d vs %d\n%s\n%s", i0, i1, lines[0], lines[1])
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{850, "850 rows/s"},
+		{12400, "12.4k rows/s"},
+		{3.1e6, "3.1M rows/s"},
+	}
+	for _, c := range cases {
+		if got := formatRate(c.in); got != c.want {
+			t.Errorf("formatRate(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

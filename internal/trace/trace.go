@@ -17,22 +17,66 @@ package trace
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Tracer is the root of one query's span tree.
+// Tracer is the root of one query's span tree. Every tracer owns a
+// 128-bit trace ID; every span it creates gets a 64-bit span ID derived
+// from the trace ID and a counter (splitmix64), so span-ID assignment
+// costs no syscalls and no locks beyond the counter.
 type Tracer struct {
-	root *Span
+	root    *Span
+	traceID TraceID
+	idSeed  uint64
+	idCtr   atomic.Uint64
 }
 
-// New creates a Tracer whose root span has the given name. The root span
-// starts immediately; call Finish (or root.End) before rendering.
+// New creates a Tracer with a fresh random trace ID whose root span has
+// the given name. The root span starts immediately; call Finish (or
+// root.End) before rendering.
 func New(name string) *Tracer {
-	return &Tracer{root: &Span{name: name, start: time.Now(), timed: true}}
+	return NewWithParent(name, NewTraceID(), SpanID{})
+}
+
+// NewWithParent creates a Tracer that continues an existing trace: the
+// root span joins trace tid as a child of remote span parent (zero
+// parent = this tracer starts the trace). Used when a query arrives with
+// a W3C traceparent header.
+func NewWithParent(name string, tid TraceID, parent SpanID) *Tracer {
+	if tid.IsZero() {
+		tid = NewTraceID()
+	}
+	t := &Tracer{
+		traceID: tid,
+		idSeed:  binary.BigEndian.Uint64(tid[8:]),
+	}
+	t.root = &Span{name: name, start: time.Now(), timed: true, tr: t, parentID: parent}
+	t.root.spanID = t.nextSpanID()
+	return t
+}
+
+// TraceID returns the tracer's trace identifier.
+func (t *Tracer) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.traceID
+}
+
+func (t *Tracer) nextSpanID() SpanID {
+	x := splitmix64(t.idSeed + t.idCtr.Add(1))
+	if x == 0 {
+		x = 1
+	}
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], x)
+	return id
 }
 
 // Root returns the root span.
@@ -74,6 +118,16 @@ func WithTracer(ctx context.Context, t *Tracer) context.Context {
 		return ctx
 	}
 	return withSpan(ctx, t.root)
+}
+
+// Propagate copies src's current span onto dst, so work continuing
+// under a fresh context (a degradation-ladder rung with its own budget)
+// keeps appending to the same trace. No-op when src carries no span.
+func Propagate(dst, src context.Context) context.Context {
+	if sp := SpanFromContext(src); sp != nil {
+		return withSpan(dst, sp)
+	}
+	return dst
 }
 
 // SpanFromContext returns the current span, or nil when tracing is off.
@@ -119,6 +173,10 @@ type Span struct {
 	name  string
 	start time.Time
 	timed bool // duration = end-start; otherwise accumulated via AddTime
+
+	tr       *Tracer // owning tracer (trace ID, span-ID allocator)
+	spanID   SpanID
+	parentID SpanID
 
 	mu       sync.Mutex
 	done     bool
@@ -237,11 +295,43 @@ func (s *Span) StartChild(name string) *Span {
 }
 
 func (s *Span) newChild(name string) *Span {
-	sp := &Span{name: name}
+	// start is recorded on every child for span export; only timed
+	// spans use it for duration.
+	sp := &Span{name: name, start: time.Now(), tr: s.tr, parentID: s.spanID}
+	if s.tr != nil {
+		sp.spanID = s.tr.nextSpanID()
+	}
 	s.mu.Lock()
 	s.children = append(s.children, sp)
 	s.mu.Unlock()
 	return sp
+}
+
+// TraceID returns the owning tracer's trace ID (zero for nil spans or
+// spans created outside a tracer).
+func (s *Span) TraceID() TraceID {
+	if s == nil || s.tr == nil {
+		return TraceID{}
+	}
+	return s.tr.traceID
+}
+
+// SpanID returns the span's identifier (zero for nil spans).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.spanID
+}
+
+// Traceparent renders the W3C traceparent header that would propagate
+// this span's context to a downstream service ("" when untraced). This
+// is the exact string a remote-shard RPC will carry.
+func (s *Span) Traceparent() string {
+	if s == nil || s.tr == nil || s.tr.traceID.IsZero() {
+		return ""
+	}
+	return FormatTraceparent(s.tr.traceID, s.spanID)
 }
 
 // Snapshot exports the subtree rooted at s without ending it (nil-safe).
@@ -256,12 +346,20 @@ func (s *Span) Snapshot() *Profile {
 // Profile is the exportable snapshot of a span tree, JSON-encodable and
 // pretty-printable.
 type Profile struct {
-	Name       string     `json:"name"`
-	DurationMS float64    `json:"duration_ms"`
-	RowsIn     int64      `json:"rows_in,omitempty"`
-	RowsOut    int64      `json:"rows_out,omitempty"`
-	Attrs      []Attr     `json:"attrs,omitempty"`
-	Children   []*Profile `json:"children,omitempty"`
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+	// TraceID/SpanID/ParentSpanID are lowercase hex (W3C widths: 32, 16,
+	// 16 chars); empty when the span tree was built without a tracer.
+	TraceID      string `json:"trace_id,omitempty"`
+	SpanID       string `json:"span_id,omitempty"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+	// StartUnixNano anchors the span on the wall clock for export;
+	// 0 for pre-identity snapshots.
+	StartUnixNano int64      `json:"start_unix_nano,omitempty"`
+	RowsIn        int64      `json:"rows_in,omitempty"`
+	RowsOut       int64      `json:"rows_out,omitempty"`
+	Attrs         []Attr     `json:"attrs,omitempty"`
+	Children      []*Profile `json:"children,omitempty"`
 }
 
 func (s *Span) profile() *Profile {
@@ -270,6 +368,16 @@ func (s *Span) profile() *Profile {
 		Name:       s.name,
 		DurationMS: float64(s.dur) / float64(time.Millisecond),
 		RowsOut:    s.rowsOut,
+	}
+	if s.tr != nil && !s.tr.traceID.IsZero() {
+		p.TraceID = s.tr.traceID.String()
+		p.SpanID = s.spanID.String()
+		if !s.parentID.IsZero() {
+			p.ParentSpanID = s.parentID.String()
+		}
+	}
+	if !s.start.IsZero() {
+		p.StartUnixNano = s.start.UnixNano()
 	}
 	p.Attrs = append(p.Attrs, s.attrs...)
 	children := append([]*Span(nil), s.children...)
@@ -332,14 +440,20 @@ func (p *Profile) FindAll(substr string) []*Profile {
 	return out
 }
 
-// String renders the profile as an indented tree, one node per line:
+// String renders the profile as an indented tree, one node per line,
+// with durations right-aligned to the widest label and per-span
+// throughput (rows-out per second of span time):
 //
-//	query                                    12.40ms
-//	├─ engine exact                          12.30ms
-//	│  └─ HashAggregate(...)                 11.90ms  in=500000 out=1  workers=4
+//	query                                12.40ms
+//	├─ engine exact                      12.30ms
+//	│  └─ HashAggregate(...)             11.90ms  in=500000 out=1  84 rows/s  workers=4
 func (p *Profile) String() string {
+	width := p.labelWidth("")
+	if width < 24 {
+		width = 24
+	}
 	var sb strings.Builder
-	p.render(&sb, "", "", true)
+	p.render(&sb, "", "", width)
 	return sb.String()
 }
 
@@ -348,11 +462,44 @@ func (p *Profile) Lines() []string {
 	return strings.Split(strings.TrimRight(p.String(), "\n"), "\n")
 }
 
-func (p *Profile) render(sb *strings.Builder, branch, indent string, root bool) {
+// labelWidth returns the widest rendered label (branch glyphs + name, in
+// runes) in the subtree, so durations can right-align as a column.
+func (p *Profile) labelWidth(indent string) int {
+	w := len([]rune(indent)) + len([]rune(p.Name))
+	for _, c := range p.Children {
+		// Children render under indent plus a 3-rune branch glyph.
+		if cw := c.labelWidth(indent + "   "); cw > w {
+			w = cw
+		}
+	}
+	return w
+}
+
+// formatRate renders a rows/s throughput compactly: 850/s, 12.4k/s,
+// 3.1M/s.
+func formatRate(rowsPerSec float64) string {
+	switch {
+	case rowsPerSec >= 1e6:
+		return fmt.Sprintf("%.1fM rows/s", rowsPerSec/1e6)
+	case rowsPerSec >= 1e3:
+		return fmt.Sprintf("%.1fk rows/s", rowsPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f rows/s", rowsPerSec)
+	}
+}
+
+func (p *Profile) render(sb *strings.Builder, branch, indent string, width int) {
 	label := branch + p.Name
-	fmt.Fprintf(sb, "%-44s %9.2fms", label, p.DurationMS)
+	pad := width - len([]rune(label))
+	if pad < 0 {
+		pad = 0
+	}
+	fmt.Fprintf(sb, "%s%s %9.2fms", label, strings.Repeat(" ", pad), p.DurationMS)
 	if p.RowsIn > 0 || p.RowsOut > 0 {
 		fmt.Fprintf(sb, "  in=%d out=%d", p.RowsIn, p.RowsOut)
+	}
+	if p.RowsOut > 0 && p.DurationMS > 0 {
+		fmt.Fprintf(sb, "  %s", formatRate(float64(p.RowsOut)/(p.DurationMS/1e3)))
 	}
 	for _, a := range p.Attrs {
 		fmt.Fprintf(sb, "  %s=%s", a.Key, a.Value)
@@ -364,7 +511,7 @@ func (p *Profile) render(sb *strings.Builder, branch, indent string, root bool) 
 		if last {
 			cb, ci = "└─ ", "   "
 		}
-		c.render(sb, indent+cb, indent+ci, false)
+		c.render(sb, indent+cb, indent+ci, width)
 	}
 }
 
