@@ -331,7 +331,15 @@ func (p *QueryProfile) String() string { return p.tr.Profile().String() }
 // keeping the executed query's technique, guarantee, and diagnostics.
 func (db *DB) runStatement(ctx context.Context, stmt *sqlparse.SelectStmt, run func(context.Context) (*Result, error)) (*Result, error) {
 	if !stmt.Explain {
-		return run(ctx)
+		res, err := run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		// Every facade entry point flows through here, so this one stamp
+		// gives library users (and everything downstream: audits, logs,
+		// the workload registry) the query's shape identity.
+		res.Diagnostics.Fingerprint = stmt.Fingerprint().Hash
+		return res, nil
 	}
 	if !stmt.Analyze {
 		p, err := plan.Build(stmt, db.catalog)
@@ -352,6 +360,7 @@ func (db *DB) runStatement(ctx context.Context, stmt *sqlparse.SelectStmt, run f
 		return nil, err
 	}
 	sp.End()
+	res.Diagnostics.Fingerprint = stmt.Fingerprint().Hash
 	out := textResult("explain analyze", sp.Snapshot().String())
 	out.Technique = res.Technique
 	out.Guarantee = res.Guarantee

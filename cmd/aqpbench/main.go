@@ -72,6 +72,7 @@ func main() {
 		shardSw = flag.Bool("shards", false, "run the shard sweep: scatter-gather latency and CI width at 1/2/4/8 shards")
 		teleOv  = flag.Bool("telemetry-overhead", false, "run the observability-cost gate: interleaved A/B exact scans with telemetry on vs off, fail if the telemetry arm's p50 regresses 3% or more")
 		contrSw = flag.Bool("contract", false, "run the contract sweep: pilot-sized two-stage runs per engine at 1/2/5% targets, fail if the held rate falls confidently below the stated confidence")
+		topSm   = flag.Bool("top", false, "run the workload-insight smoke: serve a mixed template workload, fail unless GET /workload collapses literal variants and ranks the dominant template first")
 	)
 	flag.Parse()
 
@@ -119,6 +120,13 @@ func main() {
 	if *contrSw {
 		if err := runContractSweep(*rows, *trials, *seed, *workers, *jsonOut, *outDir); err != nil {
 			fmt.Fprintf(os.Stderr, "aqpbench: contract sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *topSm {
+		if err := runTopSmoke(*rows, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: workload-insight smoke: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -819,5 +827,122 @@ func writeJSON(dir string, tab *experiments.Table, scale experiments.Scale, elap
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runTopSmoke is the workload-insight gate: serve a mixed template
+// workload through the server handler — one dominant template
+// instantiated with many distinct literals, plus minority shapes — then
+// assert GET /workload collapsed the literal variants onto a single
+// fingerprint and ranks it first by traffic.
+func runTopSmoke(rows int, seed int64) error {
+	const (
+		dominant = 24 // instances of the dominant template (distinct literals)
+		minority = 6  // instances of each minority shape
+	)
+	if rows < 4096 {
+		rows = 4096
+	}
+	ev, err := workload.GenerateEvents(workload.EventsConfig{
+		Seed: seed, Rows: rows, NumGroups: 16, Skew: 0.8,
+	})
+	if err != nil {
+		return err
+	}
+	db := aqp.Open(ev.Catalog, aqp.WithOnlineConfig(core.OnlineConfig{
+		DefaultRate: 0.5, MinTableRows: 1, Seed: seed,
+	}))
+	srv := server.New(db, server.Config{
+		Workers:   4,
+		QueueCap:  32,
+		Telemetry: true,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	h := srv.Handler()
+
+	post := func(req server.QueryRequest) (server.QueryResponse, error) {
+		body, _ := json.Marshal(req)
+		r := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+		r.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			return server.QueryResponse{}, fmt.Errorf("%q: status %d: %s", req.SQL, w.Code, w.Body.String())
+		}
+		var qr server.QueryResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &qr); err != nil {
+			return server.QueryResponse{}, fmt.Errorf("decode: %w", err)
+		}
+		return qr, nil
+	}
+
+	// Dominant template: a selective SUM whose threshold literal varies
+	// per instance — the exact case fingerprinting must collapse.
+	window := rows / dominant
+	domFP := ""
+	for i := 0; i < dominant; i++ {
+		qr, err := post(server.QueryRequest{
+			SQL: fmt.Sprintf("SELECT SUM(ev_value) FROM events WHERE ev_ts >= %d AND ev_ts < %d",
+				i*window, (i+1)*window),
+			Mode: "online", RelError: 0.5, Confidence: 0.95,
+		})
+		if err != nil {
+			return err
+		}
+		if qr.Fingerprint == "" {
+			return fmt.Errorf("response carries no fingerprint")
+		}
+		if domFP == "" {
+			domFP = qr.Fingerprint
+		} else if qr.Fingerprint != domFP {
+			return fmt.Errorf("literal variants split fingerprints: %s vs %s", domFP, qr.Fingerprint)
+		}
+	}
+	for i := 0; i < minority; i++ {
+		if _, err := post(server.QueryRequest{
+			SQL: "SELECT ev_group, AVG(ev_value) FROM events GROUP BY ev_group", Mode: "exact",
+		}); err != nil {
+			return err
+		}
+		if _, err := post(server.QueryRequest{
+			SQL: fmt.Sprintf("SELECT COUNT(*) FROM events WHERE ev_value > %d", i), Mode: "exact",
+		}); err != nil {
+			return err
+		}
+	}
+
+	r := httptest.NewRequest(http.MethodGet, "/workload?by=traffic", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		return fmt.Errorf("GET /workload: status %d: %s", w.Code, w.Body.String())
+	}
+	var wr server.WorkloadResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &wr); err != nil {
+		return fmt.Errorf("decode /workload: %w", err)
+	}
+	if wr.Summary.Fingerprints != 3 {
+		return fmt.Errorf("tracked %d fingerprints, want 3 (dominant + 2 minority)", wr.Summary.Fingerprints)
+	}
+	if len(wr.Top) == 0 {
+		return fmt.Errorf("empty /workload top")
+	}
+	top := wr.Top[0]
+	if top.Fingerprint != domFP {
+		return fmt.Errorf("dominant template not ranked first: top is %s (%s) with %d queries, want %s",
+			top.Fingerprint, top.Template, top.Queries, domFP)
+	}
+	if top.Queries != dominant {
+		return fmt.Errorf("dominant card has %d queries, want %d (literal variants not collapsed)",
+			top.Queries, dominant)
+	}
+	if !strings.Contains(top.Template, "?") {
+		return fmt.Errorf("dominant template %q is not literal-normalized", top.Template)
+	}
+	fmt.Printf("workload-insight smoke OK: %d shapes over %d queries; top %s ×%d  %s\n",
+		wr.Summary.Fingerprints, wr.Summary.Offered, top.Fingerprint, top.Queries, top.Template)
+	for _, c := range wr.Top {
+		fmt.Printf("  %s ×%-3d p95=%.2fms  %s\n", c.Fingerprint, c.Queries, c.LatencyP95MS, c.Template)
+	}
 	return nil
 }

@@ -104,6 +104,7 @@ func main() {
 		telemWin   = flag.Duration("telemetry-window", 15*time.Minute, "metric history retention window")
 		sloConfig  = flag.String("slo-config", "", "JSON file of SLO objectives (default: built-in latency/coverage/contract/degradation objectives)")
 		flightN    = flag.Int("flight-queries", 64, "flight-recorder ring size (last N queries, plus N notable)")
+		workloadN  = flag.Int("workload-cap", 256, "max query fingerprints tracked by workload insight (GET /workload); LRU-evicted beyond the cap, negative disables")
 		flightDump = flag.String("flight-dump", "", "directory for automatic flight-recorder dumps (panic, SLO fast burn, SIGQUIT); empty logs dumps to stderr as JSON")
 		loads      loadFlags
 	)
@@ -177,6 +178,7 @@ func main() {
 		cfg.TelemetryWindow = *telemWin
 		cfg.FlightQueries = *flightN
 		cfg.FlightSink = flightSink(*flightDump)
+		cfg.WorkloadCap = *workloadN
 		if *sloConfig != "" {
 			raw, err := os.ReadFile(*sloConfig)
 			if err != nil {
@@ -193,8 +195,8 @@ func main() {
 	if *telemetry {
 		srv.TelemetryStore().Start()
 		defer srv.TelemetryStore().Close()
-		log.Printf("aqpd: telemetry on (step %s, window %s, flight ring %d); GET /metrics/history, /slo, /debug/flightrecord, /debug/spans",
-			*telemStep, *telemWin, *flightN)
+		log.Printf("aqpd: telemetry on (step %s, window %s, flight ring %d, workload cap %d); GET /metrics/history, /slo, /workload, /debug/flightrecord, /debug/spans",
+			*telemStep, *telemWin, *flightN, *workloadN)
 		// SIGQUIT dumps the flight recorder instead of killing the
 		// process — the operator's "what just happened" button.
 		quit := make(chan os.Signal, 1)

@@ -18,12 +18,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 
 	aqp "repro"
 	"repro/internal/fault"
 	"repro/internal/shard"
+	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -42,6 +44,7 @@ func main() {
 		shards  = flag.Int("shards", 0, "also emit each table pre-partitioned into this many shards (requires -shard-key)")
 		shKey   = flag.String("shard-key", "", "shard-routing column for -shards")
 		shKind  = flag.String("shard-kind", "hash", "shard routing for -shards: hash or range")
+		fprints = flag.Bool("fingerprints", false, "also emit queries.manifest.json: the dataset's query templates with their workload-insight fingerprints, for correlating GET /workload scorecards with the generated benchmark")
 	)
 	flag.Parse()
 
@@ -102,6 +105,81 @@ func main() {
 			}
 		}
 	}
+	if *fprints {
+		if err := writeFingerprints(*out, *dataset, *seed); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// templateEntry is one query template's workload-insight identity in
+// queries.manifest.json.
+type templateEntry struct {
+	Name string `json:"name"`
+	// SQL is one concrete instantiation (deterministic under -seed).
+	SQL string `json:"sql"`
+	// Fingerprint is the shape hash every instantiation of this template
+	// shares — the key into GET /workload and aqpsh \top.
+	Fingerprint string `json:"fingerprint"`
+	// Template is the literal-normalized canonical SQL behind the hash.
+	Template string `json:"template"`
+	// QCS is the syntactic query-column-set the fingerprint keys on;
+	// DeclaredQCS is the template author's stratification intent.
+	QCS         []string `json:"qcs,omitempty"`
+	DeclaredQCS []string `json:"declared_qcs,omitempty"`
+}
+
+// writeFingerprints renders the dataset's query templates, fingerprints
+// them, and writes queries.manifest.json. Two independent
+// instantiations of each template must share a fingerprint — a template
+// whose random literals moved the hash would make /workload scorecards
+// unjoinable, so that is a generation error.
+func writeFingerprints(out, dataset string, seed int64) error {
+	var tmpls []workload.Template
+	switch dataset {
+	case "star":
+		tmpls = workload.StarTemplates()
+	case "events":
+		tmpls = workload.EventTemplates()
+	default:
+		return fmt.Errorf("no templates for dataset %q", dataset)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]templateEntry, 0, len(tmpls))
+	for _, tm := range tmpls {
+		sql := tm.Instantiate(rng)
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			return fmt.Errorf("template %s: %q does not parse: %w", tm.Name, sql, err)
+		}
+		fp := stmt.Fingerprint()
+		again, err := sqlparse.Parse(tm.Instantiate(rng))
+		if err != nil {
+			return fmt.Errorf("template %s: re-instantiation does not parse: %w", tm.Name, err)
+		}
+		if fp2 := again.Fingerprint(); fp2.Hash != fp.Hash {
+			return fmt.Errorf("template %s is not literal-stable: %s vs %s (%q vs %q)",
+				tm.Name, fp.Hash, fp2.Hash, fp.Template, fp2.Template)
+		}
+		entries = append(entries, templateEntry{
+			Name:        tm.Name,
+			SQL:         sql,
+			Fingerprint: fp.Hash,
+			Template:    fp.Template,
+			QCS:         fp.QCS,
+			DeclaredQCS: tm.QCS,
+		})
+	}
+	path := filepath.Join(out, "queries.manifest.json")
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d templates fingerprinted)\n", path, len(entries))
+	return nil
 }
 
 // shardManifest records a pre-partitioned dataset's layout so loaders can

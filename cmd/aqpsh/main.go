@@ -25,6 +25,7 @@
 //	\audit                      print the continuous accuracy-audit report
 //	\slo                        evaluate the SLO objectives over this session
 //	\flight [n]                 summarize the last n flight-recorded queries
+//	\top [n]                    per-fingerprint workload scorecards, busiest first
 //	\faults                     list fault-injection points with hit/fire counts
 //	\faults arm <rules> [seed]  arm chaos injection (point:kind:prob[:latency],...)
 //	\faults off                 disarm chaos injection
@@ -47,7 +48,9 @@ import (
 
 	aqp "repro"
 	"repro/internal/audit"
+	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/insight"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -60,17 +63,18 @@ type shell struct {
 	db  *aqp.DB
 	aud *audit.Auditor
 
-	met    *server.Metrics
-	flight *telemetry.Recorder
-	tstore *telemetry.Store
-	slo    *telemetry.SLO
+	met     *server.Metrics
+	flight  *telemetry.Recorder
+	tstore  *telemetry.Store
+	slo     *telemetry.SLO
+	insight *insight.Registry
 }
 
 // setDB replaces the database and rebinds the auditor to it.
 func (sh *shell) setDB(db *aqp.DB) {
 	sh.aud.Close()
 	sh.db = db
-	sh.aud = newAuditor(db)
+	sh.aud = sh.newAuditor(db)
 }
 
 // initTelemetry builds the session-local observability stack. The store
@@ -79,6 +83,17 @@ func (sh *shell) setDB(db *aqp.DB) {
 func (sh *shell) initTelemetry() {
 	sh.met = server.NewMetrics()
 	sh.flight = telemetry.NewRecorder(telemetry.RecorderConfig{Queries: 64})
+	sh.insight = insight.New(insight.Config{OnEvent: func(ev insight.Event) {
+		// Mirror aqpd: sentinel transitions land on the session's flight
+		// timeline so \flight and \top tell one story.
+		switch ev.Kind {
+		case insight.EventRegression:
+			sh.met.Inc(server.Key("workload_regressions_total", "signal", ev.Signal))
+			sh.flight.AddEvent(telemetry.Event{Kind: "workload_regression", Name: ev.Fingerprint, Shard: -1})
+		case insight.EventRecovered:
+			sh.flight.AddEvent(telemetry.Event{Kind: "workload_recovered", Name: ev.Fingerprint, Shard: -1})
+		}
+	}})
 	sh.tstore = telemetry.NewStore(telemetry.StoreConfig{
 		Collect: func() telemetry.Sample { return sh.met.TelemetrySample(nil) },
 	})
@@ -94,8 +109,10 @@ func (sh *shell) record(sql string, res *aqp.Result, err error, start time.Time)
 	if err != nil {
 		sh.met.Inc("queries_errors_total")
 		sh.met.Inc("queries_total")
+		fp := sh.insight.Offer(sql, insight.Observation{LatencyMS: latencyMS, Err: true})
 		sh.flight.Record(telemetry.QueryRecord{
 			Start: start, SQL: sql, Status: 500, Err: err.Error(), LatencyMS: latencyMS,
+			Fingerprint: fp,
 		})
 		return
 	}
@@ -105,12 +122,26 @@ func (sh *shell) record(sql string, res *aqp.Result, err error, start time.Time)
 	if res.Diagnostics.Degraded {
 		sh.met.Inc("queries_degraded_total")
 	}
+	obs := insight.Observation{
+		Technique:   tech,
+		LatencyMS:   latencyMS,
+		RowsScanned: res.Diagnostics.Counters.RowsScanned,
+		RelWidth:    res.MaxRelHalfWidth(),
+		Approximate: res.Guarantee != core.GuaranteeExact,
+		Degraded:    res.Diagnostics.Degraded,
+		Partial:     res.Diagnostics.Partial,
+	}
+	if c := res.Diagnostics.Contract; c != nil {
+		obs.ContractVerdict = string(c.Verdict)
+	}
+	sh.insight.Offer(sql, obs)
 	qr := telemetry.QueryRecord{
 		Start: start, SQL: sql, Technique: tech, Status: 200,
 		LatencyMS:   latencyMS,
 		RowsScanned: res.Diagnostics.Counters.RowsScanned,
 		Degraded:    res.Diagnostics.Degraded,
 		Partial:     res.Diagnostics.Partial,
+		Fingerprint: res.Diagnostics.Fingerprint,
 	}
 	if c := res.Diagnostics.Contract; c != nil {
 		qr.ContractVerdict = string(c.Verdict)
@@ -119,15 +150,27 @@ func (sh *shell) record(sql string, res *aqp.Result, err error, start time.Time)
 }
 
 // newAuditor audits every approximate answer (fraction 1, no capacity
-// gate — a single-user shell has no foreground to starve).
-func newAuditor(db *aqp.DB) *audit.Auditor {
-	return audit.New(db, nil, audit.Config{Fraction: 1, Seed: 42})
+// gate — a single-user shell has no foreground to starve). Verdicts
+// feed the session's per-fingerprint coverage scorecards (\top).
+func (sh *shell) newAuditor(db *aqp.DB) *audit.Auditor {
+	return audit.New(db, nil, audit.Config{Fraction: 1, Seed: 42,
+		OnEvent: func(ev audit.Event) {
+			if sh.insight == nil {
+				return
+			}
+			switch ev.Kind {
+			case audit.EventCovered:
+				sh.insight.ReportAudit(ev.Fingerprint, ev.Technique, true)
+			case audit.EventMissed:
+				sh.insight.ReportAudit(ev.Fingerprint, ev.Technique, false)
+			}
+		}})
 }
 
 func main() {
 	sh := &shell{db: aqp.New()}
-	sh.aud = newAuditor(sh.db)
 	sh.initTelemetry()
+	sh.aud = sh.newAuditor(sh.db)
 	fmt.Println("aqpsh — approximate query shell (\\gen to create data, \\quit to exit)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -396,6 +439,51 @@ func meta(sh *shell, line string) bool {
 			fmt.Printf("%4d %6d %-18s %-8v %-10s %-10s %7.2fms  %s\n",
 				qr.Seq, qr.Status, tech, qr.Degraded, verdict, keep, qr.LatencyMS, sql)
 		}
+	case "\\top":
+		n := 10
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				fmt.Println("usage: \\top [n]")
+				return false
+			}
+			n = v
+		}
+		cards := sh.insight.Top(n, insight.ByTraffic)
+		if len(cards) == 0 {
+			fmt.Println("no query shapes fingerprinted yet (run some SQL first)")
+			return false
+		}
+		sum := sh.insight.Summary()
+		fmt.Printf("%d shape(s) tracked, %d quer%s offered",
+			sum.Fingerprints, sum.Offered, plural(sum.Offered, "y", "ies"))
+		if sum.Evictions > 0 {
+			fmt.Printf(", %d evicted", sum.Evictions)
+		}
+		if sum.Regressions > 0 {
+			fmt.Printf(", %d regression(s)", sum.Regressions)
+		}
+		fmt.Println()
+		fmt.Printf("%-16s %7s %5s %9s %9s %8s %6s %-14s %s\n",
+			"FINGERPRINT", "QUERIES", "ERRS", "P50", "P95", "WIDTH95", "REGR", "TECHNIQUES", "TEMPLATE")
+		for _, c := range cards {
+			techs := make([]string, 0, len(c.Techniques))
+			for _, tc := range c.Techniques {
+				techs = append(techs, tc.Technique)
+			}
+			tmpl := c.Template
+			if len(tmpl) > 56 {
+				tmpl = tmpl[:53] + "..."
+			}
+			regr := fmt.Sprintf("%d", c.Regressions)
+			if len(c.Active) > 0 {
+				regr += "!"
+			}
+			fmt.Printf("%-16s %7d %5d %7.2fms %7.2fms %8.4f %6s %-14s %s\n",
+				c.Fingerprint, c.Queries, c.Errors,
+				c.LatencyP50MS, c.LatencyP95MS, c.RelWidthP95, regr,
+				strings.Join(techs, ","), tmpl)
+		}
 	case "\\shard":
 		if len(fields) < 4 {
 			fmt.Println("usage: \\shard <table> <col> <count> [hash|range]")
@@ -502,4 +590,12 @@ func (sh *shell) show(sql string, res *aqp.Result, err error) {
 	for _, m := range res.Diagnostics.Messages {
 		fmt.Println("  ·", m)
 	}
+}
+
+// plural picks the singular or plural suffix for n.
+func plural(n uint64, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

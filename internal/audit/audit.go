@@ -80,6 +80,10 @@ type Event struct {
 	// that failed while the claim was served — a miss on a degraded,
 	// extrapolated answer indicts shard loss, not the estimator.
 	DegradedShards []int
+	// Fingerprint is the audited query's shape hash (from the claimed
+	// result's diagnostics), so covered/missed outcomes can fan out to
+	// per-fingerprint coverage scorecards.
+	Fingerprint string
 }
 
 // Config tunes the auditor.
@@ -599,7 +603,8 @@ func (a *Auditor) finish(j *job, truth *core.Result) {
 				}
 			}
 			events = append(events, Event{Kind: kind, Technique: j.technique,
-				Aggregate: it.aggregate, RelError: it.relErr, DegradedShards: degraded})
+				Aggregate: it.aggregate, RelError: it.relErr, DegradedShards: degraded,
+				Fingerprint: j.claimed.Diagnostics.Fingerprint})
 			events = append(events, a.checkBudgetLocked(key, e)...)
 		}
 		events = append(events, a.recordContractLocked(j, cmp)...)

@@ -141,6 +141,11 @@ type Diagnostics struct {
 	// Workers is the resolved morsel-parallel worker count the execution
 	// ran with (1 = serial).
 	Workers int
+	// Fingerprint is the stable hash of the query's shape (the
+	// literal-normalized canonical SQL plus its query-column-set),
+	// stamped by the facade so callers can correlate results, audits,
+	// and logs to the workload template that produced them.
+	Fingerprint string
 	// Lineage records the provenance of the data the answer was computed
 	// from, so accuracy audits can correlate coverage misses with data
 	// drift after the fact.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/fault"
+	"repro/internal/insight"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -98,6 +99,15 @@ type Config struct {
 	// dumps (panic containment, SLO fast burn). cmd/aqpd writes them to
 	// the -flight-dump path; tests capture them directly.
 	FlightSink func(telemetry.Bundle)
+	// WorkloadCap bounds the workload-insight fingerprint registry that
+	// rides with telemetry: per-shape scorecards and regression
+	// sentinels behind GET /workload. 0 takes the registry default
+	// (256); negative disables workload insight even with telemetry on.
+	WorkloadCap int
+	// WorkloadWindow overrides the per-fingerprint sentinel half-window
+	// (0 takes the registry default; exposed for tests, which need
+	// small windows to trip sentinels deterministically).
+	WorkloadWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +158,7 @@ type Server struct {
 	flight     *telemetry.Recorder
 	spans      *telemetry.SpanExporter
 	flightSink func(telemetry.Bundle)
+	insight    *insight.Registry
 }
 
 // New builds a server over db.
@@ -187,6 +198,7 @@ func New(db *aqp.DB, cfg Config) *Server {
 		if s.flight != nil && ev.Type != "ok" {
 			s.flight.AddEvent(telemetry.Event{
 				Kind: "shard", Name: ev.Table, Detail: ev.Type, Shard: ev.Shard,
+				TraceID: ev.TraceID,
 			})
 		}
 	})
@@ -198,6 +210,7 @@ func New(db *aqp.DB, cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics/history", s.handleMetricsHistory)
 	s.mux.HandleFunc("/slo", s.handleSLO)
+	s.mux.HandleFunc("/workload", s.handleWorkload)
 	s.mux.HandleFunc("/debug/flightrecord", s.handleFlightRecord)
 	s.mux.HandleFunc("/debug/spans", s.handleSpans)
 	s.mux.HandleFunc("/faults", s.handleFaults)
@@ -251,10 +264,16 @@ func (s *Server) onAuditEvent(ev audit.Event) {
 		s.met.Inc(Key("audit_covered_total", "technique", ev.Technique))
 		s.met.ObserveWith(Key("audit_rel_error", "technique", ev.Technique),
 			ev.RelError, errorWidthBuckets)
+		if s.insight != nil {
+			s.insight.ReportAudit(ev.Fingerprint, ev.Technique, true)
+		}
 	case audit.EventMissed:
 		s.met.Inc(Key("audit_missed_total", "technique", ev.Technique))
 		s.met.ObserveWith(Key("audit_rel_error", "technique", ev.Technique),
 			ev.RelError, errorWidthBuckets)
+		if s.insight != nil {
+			s.insight.ReportAudit(ev.Fingerprint, ev.Technique, false)
+		}
 	case audit.EventViolation:
 		s.met.Inc(Key("coverage_violation_total", "technique", ev.Technique))
 	case audit.EventContractHeld:
@@ -445,13 +464,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestTimeout
 		}
 		s.met.Inc("queries_errors_total")
+		// Failures count against the shape too: a fingerprint whose
+		// queries started erroring is exactly what /workload should show.
+		var failFP string
+		if s.insight != nil {
+			failFP = s.insight.Offer(req.SQL, insight.Observation{
+				LatencyMS: float64(elapsed.Microseconds()) / 1e3,
+				Err:       true,
+			})
+		}
 		s.cfg.Logger.Warn("query failed",
-			"sql", req.SQL, "mode", req.Mode,
+			"sql", req.SQL, "mode", req.Mode, "fingerprint", failFP,
 			"latency_ms", float64(elapsed.Microseconds())/1e3,
 			"status", status, "err", err.Error())
 		s.recordQuery(telemetry.QueryRecord{
 			Start: start, SQL: req.SQL, Mode: req.Mode,
-			Status: status, Err: err.Error(),
+			Fingerprint: failFP,
+			Status:      status, Err: err.Error(),
 			LatencyMS: float64(elapsed.Microseconds()) / 1e3,
 		}, prof)
 		writeError(w, status, "%v", err)
@@ -492,6 +521,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	logAttrs := []any{
 		"sql", req.SQL, "mode", req.Mode, "technique", tech,
+		"fingerprint", res.Diagnostics.Fingerprint,
 		"guarantee", res.Guarantee.String(), "latency_ms", latencyMS,
 		"rows_scanned", res.Diagnostics.Counters.RowsScanned,
 		"sample_fraction", res.Diagnostics.SampleFraction,
@@ -516,9 +546,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if c := res.Diagnostics.Contract; c != nil {
 		contractVerdict = string(c.Verdict)
 	}
+	// File the outcome with the workload-insight registry. Like the
+	// auditor's Offer, this only observes: it never mutates res and
+	// cannot fail the query.
+	if s.insight != nil {
+		s.insight.Offer(req.SQL, insight.Observation{
+			Technique:       tech,
+			LatencyMS:       latencyMS,
+			RowsScanned:     res.Diagnostics.Counters.RowsScanned,
+			RelWidth:        res.MaxRelHalfWidth(),
+			Approximate:     res.Guarantee != core.GuaranteeExact,
+			Degraded:        res.Diagnostics.Degraded,
+			Extrapolated:    res.Diagnostics.Shards != nil && res.Diagnostics.Shards.Extrapolated,
+			Partial:         res.Diagnostics.Partial,
+			ContractVerdict: contractVerdict,
+		})
+	}
 	s.recordQuery(telemetry.QueryRecord{
 		Start: start, SQL: req.SQL, Mode: req.Mode,
-		Technique: tech, Status: http.StatusOK,
+		Fingerprint: res.Diagnostics.Fingerprint,
+		Technique:   tech, Status: http.StatusOK,
 		LatencyMS:       latencyMS,
 		RowsScanned:     res.Diagnostics.Counters.RowsScanned,
 		Degraded:        res.Diagnostics.Degraded,
@@ -712,6 +759,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds":    int64(time.Since(s.start).Seconds()),
 	}
 	s.engineTrippedGauges(gauges)
+	if s.insight != nil {
+		gauges["workload_fingerprints"] = int64(s.insight.Len())
+	}
 	if s.aud != nil {
 		rep := s.aud.Report()
 		gauges["audit_backlog"] = int64(rep.Backlog)

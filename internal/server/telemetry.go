@@ -30,6 +30,7 @@ func (s *Server) initTelemetry(cfg Config) {
 		OnSnap: func(telemetry.Sample) { s.evalSLO() },
 	})
 	s.slo = telemetry.NewSLO(s.tstore, cfg.Objectives, s.onFastBurn)
+	s.initInsight(cfg)
 	// Process-global fault-fire feed. Installed only when telemetry is
 	// on so chaos tests without telemetry see the bare injection path.
 	flight := s.flight
@@ -77,6 +78,9 @@ func (s *Server) collectSample() telemetry.Sample {
 	}
 	if s.aud != nil {
 		gauges["audit_backlog"] = float64(s.aud.Report().Backlog)
+	}
+	if s.insight != nil {
+		gauges["workload_fingerprints"] = float64(s.insight.Len())
 	}
 	return s.met.TelemetrySample(gauges)
 }

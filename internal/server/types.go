@@ -79,8 +79,14 @@ type QueryResponse struct {
 	RowsScanned    int64   `json:"rows_scanned"`
 	SampleFraction float64 `json:"sample_fraction"`
 	// Workers is the morsel-parallel worker count the query ran with.
-	Workers  int      `json:"workers,omitempty"`
-	Messages []string `json:"messages,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Fingerprint is the query's shape hash (literal-normalized
+	// canonical SQL + query-column-set) — the key into GET /workload's
+	// scorecards and the flight recorder's fingerprint fields. Purely
+	// derived from the SQL text, so it is identical whether or not
+	// telemetry is on.
+	Fingerprint string   `json:"fingerprint,omitempty"`
+	Messages    []string `json:"messages,omitempty"`
 	// TraceID is the query's 128-bit trace identifier (lowercase hex),
 	// present whenever the query was traced (request "trace": true, or
 	// server telemetry on). An inbound traceparent header's trace ID is
@@ -192,6 +198,7 @@ func encodeResult(res *core.Result) *QueryResponse {
 		RowsScanned:    res.Diagnostics.Counters.RowsScanned,
 		SampleFraction: res.Diagnostics.SampleFraction,
 		Workers:        res.Diagnostics.Workers,
+		Fingerprint:    res.Diagnostics.Fingerprint,
 		Messages:       res.Diagnostics.Messages,
 	}
 	for i, row := range res.Rows {

@@ -24,6 +24,10 @@ type Event struct {
 	Shard int
 	// Type is "ok", "fail", "open" (breaker rejected), or "pruned".
 	Type string
+	// TraceID is the scatter's trace identifier ("" when the query ran
+	// untraced), letting downstream recorders attribute the outcome to
+	// its query by identity rather than by time overlap.
+	TraceID string
 }
 
 // ExecOptions tunes one scatter execution.
@@ -135,6 +139,10 @@ func (g *Group) Scatter(ctx context.Context, stmt *sqlparse.SelectStmt, opt Exec
 	sp, sctx := trace.StartSpan(ctx, fmt.Sprintf("scatter %s (%d shards)", g.name, n))
 	sp.SetAttr("key", g.key.String())
 	defer sp.End()
+	scatterTID := ""
+	if tid := sp.TraceID(); !tid.IsZero() {
+		scatterTID = tid.String()
+	}
 
 	// Pre-create per-shard spans in index order so profiles are stable.
 	// Each leg is stamped with its own W3C traceparent — the exact header
@@ -187,7 +195,7 @@ func (g *Group) Scatter(ctx context.Context, stmt *sqlparse.SelectStmt, opt Exec
 			g.breakers[i].Record(true)
 			res.CoveredRows += sh.Rows()
 		}
-		g.observe(Event{Table: g.name, Shard: i, Type: o.Status})
+		g.observe(Event{Table: g.name, Shard: i, Type: o.Status, TraceID: scatterTID})
 	}
 
 	if len(res.Failed) > 0 && !opt.AllowDegraded {

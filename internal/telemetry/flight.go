@@ -25,6 +25,11 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 	// Shard is the shard index for shard events (-1 otherwise).
 	Shard int `json:"shard,omitempty"`
+	// TraceID, when non-empty, names the query trace the event occurred
+	// under; Record attributes such events by identity instead of by
+	// time overlap. Process-global events (fault fires, breaker
+	// transitions) have none.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // QueryRecord is one query's postmortem record.
@@ -34,6 +39,10 @@ type QueryRecord struct {
 	TraceID string    `json:"trace_id,omitempty"`
 	SQL     string    `json:"sql"`
 	Mode    string    `json:"mode,omitempty"`
+	// Fingerprint is the query-shape hash (literal-normalized canonical
+	// SQL + query-column-set), correlating this record with its
+	// /workload scorecard.
+	Fingerprint string `json:"fingerprint,omitempty"`
 
 	Technique    string  `json:"technique,omitempty"`
 	Status       int     `json:"status"`
@@ -157,13 +166,24 @@ func (r *Recorder) Record(qr QueryRecord) {
 	r.seq++
 	qr.Seq = r.seq
 
-	// Attribute process events inside [Start, end].
+	// Attribute process events. An event that carries a trace ID is
+	// attributed by identity — it belongs to exactly the query whose
+	// trace it occurred under, never to a concurrent bystander. Only
+	// trace-less events (process-global fault fires, breaker
+	// transitions) fall back to time-window overlap, which under
+	// concurrency honestly attributes them to every overlapping query.
 	start := r.eHead - r.eN
 	if start < 0 {
 		start += len(r.events)
 	}
 	for i := 0; i < r.eN; i++ {
 		ev := r.events[(start+i)%len(r.events)]
+		if ev.TraceID != "" {
+			if qr.TraceID != "" && ev.TraceID == qr.TraceID {
+				qr.Events = append(qr.Events, ev)
+			}
+			continue
+		}
 		if !ev.T.Before(qr.Start) && !ev.T.After(end) {
 			qr.Events = append(qr.Events, ev)
 		}

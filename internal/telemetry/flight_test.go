@@ -148,3 +148,49 @@ func TestRecorderNilSafe(t *testing.T) {
 		t.Fatal("nil recorder returned queries")
 	}
 }
+
+// TestRecorderTraceIDAttribution: an event carrying a trace ID attaches
+// only to the query with that trace, even when a concurrent bystander's
+// time window overlaps it; trace-less events keep overlap attribution.
+func TestRecorderTraceIDAttribution(t *testing.T) {
+	r := NewRecorder(RecorderConfig{})
+	t0 := time.Unix(1000, 0)
+	// Two queries run concurrently over the same window; a shard event
+	// fires under query A's trace, and a process-global fault fires with
+	// no trace.
+	r.AddEvent(Event{T: t0.Add(5 * time.Millisecond), Kind: "shard", Name: "orders", Shard: 2, TraceID: "aaa"})
+	r.AddEvent(Event{T: t0.Add(6 * time.Millisecond), Kind: "fault_fire", Name: "global"})
+	r.Record(QueryRecord{Start: t0, SQL: "qa", TraceID: "aaa", Status: 200, LatencyMS: 10})
+	r.Record(QueryRecord{Start: t0, SQL: "qb", TraceID: "bbb", Status: 200, LatencyMS: 10})
+
+	b := r.Snapshot("test")
+	byTrace := map[string][]Event{}
+	for _, q := range b.Queries {
+		byTrace[q.TraceID] = q.Events
+	}
+	wantA := map[string]bool{"orders": true, "global": true}
+	gotA := map[string]bool{}
+	for _, ev := range byTrace["aaa"] {
+		gotA[ev.Name] = true
+	}
+	if len(byTrace["aaa"]) != 2 || !gotA["orders"] || !gotA["global"] {
+		t.Fatalf("query A events = %+v, want %v", byTrace["aaa"], wantA)
+	}
+	if len(byTrace["bbb"]) != 1 || byTrace["bbb"][0].Name != "global" {
+		t.Fatalf("query B events = %+v, want only the trace-less global fault", byTrace["bbb"])
+	}
+}
+
+// TestRecorderTracedEventNeverOverlapAttributed: a traced event whose
+// query record never arrives (e.g. evicted) must not leak onto an
+// overlapping trace-less record either.
+func TestRecorderTracedEventNeverOverlapAttributed(t *testing.T) {
+	r := NewRecorder(RecorderConfig{})
+	t0 := time.Unix(1000, 0)
+	r.AddEvent(Event{T: t0.Add(time.Millisecond), Kind: "shard", Name: "orders", TraceID: "aaa"})
+	r.Record(QueryRecord{Start: t0, SQL: "untraced", Status: 200, LatencyMS: 10})
+	b := r.Snapshot("test")
+	if evs := b.Queries[0].Events; len(evs) != 0 {
+		t.Fatalf("trace-less record got traced events %+v", evs)
+	}
+}
