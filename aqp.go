@@ -90,6 +90,9 @@ type (
 	ShardGroup = shard.Group
 	// ShardHealth is one shard's liveness summary.
 	ShardHealth = shard.Health
+	// RemoteShardOptions tunes the robustness envelope (deadlines, retry,
+	// hedging, health probing) around remote-shard RPC calls.
+	RemoteShardOptions = shard.RemoteOptions
 )
 
 // Shard key kinds.
@@ -299,8 +302,38 @@ func (db *DB) ShardTable(name string, key ShardKey) (*ShardGroup, error) {
 	return g, nil
 }
 
+// AttachRemoteShards registers a sharded view whose shards live in other
+// processes, one per address, reached over the shard wire protocol. The
+// base table stays local as the planning surface and ground-truth row
+// source; estimates scatter over the remote shard servers with the full
+// robustness envelope (per-call deadlines, seeded retries, hedged
+// requests, breakers, background health probes). Each address must be
+// serving the matching partition at attach time — an unreachable shard
+// fails the attach loudly rather than degrading silently later.
+// Remote groups are static: Sync is a no-op, so the partition files on
+// the servers must already agree with the declared key.
+func (db *DB) AttachRemoteShards(name string, key ShardKey, addrs []string, opt RemoteShardOptions) (*ShardGroup, error) {
+	t, err := db.catalog.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := shard.AttachRemote(t, key, addrs, opt, fault.BreakerConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.shards.Add(g); err != nil {
+		g.Close()
+		return nil, err
+	}
+	return g, nil
+}
+
 // Shards returns the registry of sharded tables (nil-safe, possibly empty).
 func (db *DB) Shards() *shard.Map { return db.shards }
+
+// Close releases background resources: remote-shard health probers and
+// open RPC connections. Safe on a DB with no remote shards.
+func (db *DB) Close() { db.shards.Close() }
 
 // QueryProfile collects a per-query execution profile. Obtain one with
 // WithProfile, run any query under the returned context, then read the

@@ -9,6 +9,7 @@
 //	aqpbench -profile             # print an EXPLAIN ANALYZE span profile
 //	aqpbench -audit               # smoke-test the accuracy-audit lane
 //	aqpbench -chaos               # chaos gate: inject faults, assert survival
+//	aqpbench -remote              # remote-shard gate: multi-process cluster, kill a shard, assert honesty
 //	aqpbench -telemetry-overhead  # observability-cost gate: p50 regression < 3%
 //	aqpbench -list
 package main
@@ -73,8 +74,26 @@ func main() {
 		teleOv  = flag.Bool("telemetry-overhead", false, "run the observability-cost gate: interleaved A/B exact scans with telemetry on vs off, fail if the telemetry arm's p50 regresses 3% or more")
 		contrSw = flag.Bool("contract", false, "run the contract sweep: pilot-sized two-stage runs per engine at 1/2/5% targets, fail if the held rate falls confidently below the stated confidence")
 		topSm   = flag.Bool("top", false, "run the workload-insight smoke: serve a mixed template workload, fail unless GET /workload collapses literal variants and ranks the dominant template first")
+		remote  = flag.Bool("remote", false, "run the remote-shard chaos gate: boot shard-server child processes, verify bit-identity with in-process shards, SIGKILL one mid-flight, assert honest degraded answers")
+		rsChild = flag.Int("remote-shard-child", -1, "internal: serve shard N for the -remote gate (spawned by the gate itself)")
+		rsCount = flag.Int("remote-shard-count", 0, "internal: total shard count for -remote-shard-child")
 	)
 	flag.Parse()
+
+	if *rsChild >= 0 {
+		if err := runRemoteShardChild(*rsChild, *rsCount, *rows, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: shard child %d: %v\n", *rsChild, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *remote {
+		if err := runRemoteGate(*rows, *seed, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "aqpbench: remote gate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -1,0 +1,402 @@
+package main
+
+// The remote-shard chaos gate: the only place the full multi-process
+// topology is exercised for real. The parent re-execs itself once per
+// shard (-remote-shard-child); each child deterministically regenerates
+// the same dataset, carves out its own partition, and serves the shard
+// wire protocol on an ephemeral port. The parent then proves the two
+// hard guarantees of the remote seam:
+//
+//  1. Healthy remote answers — estimates AND CI bounds — are
+//     bit-identical to an in-process shard group over the same data at
+//     the same N and seeds.
+//  2. SIGKILLing a shard server mid-flight yields Degraded-flagged
+//     honest answers (exact refuses to extrapolate and drops its
+//     guarantee; sampled extrapolates the surviving hash shards and says
+//     so), attributed in the response, GET /shards, and the flight
+//     recorder — never a silently wrong answer.
+//
+// The gate writes results/remote_flight.json for jq validation in CI.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"time"
+
+	aqp "repro"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// remoteGateShards is the cluster size the gate boots. Hash-sharded so a
+// killed shard is an unbiased loss the survivors may extrapolate over.
+const remoteGateShards = 4
+
+var remoteShardKey = aqp.ShardKey{Column: "ev_user", Kind: aqp.ShardHash, Count: remoteGateShards}
+
+// remoteGateDB builds the gate's deterministic dataset and engine config.
+// Parent coordinators and shard children all call this with the same
+// (rows, seed), which is what makes cross-process partitions and samples
+// line up byte for byte.
+func remoteGateDB(rows int, seed int64) (*aqp.DB, error) {
+	ev, err := workload.GenerateEvents(workload.EventsConfig{
+		Seed: seed, Rows: rows, NumGroups: 16, Skew: 0.8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return aqp.Open(ev.Catalog, aqp.WithOnlineConfig(core.OnlineConfig{
+		DefaultRate: 0.1, MinTableRows: 1, Seed: seed,
+	})), nil
+}
+
+// runRemoteShardChild is the re-exec target: serve one shard of the
+// gate's table on an ephemeral port until killed. The SHARD-LISTENING
+// line on stdout is the machine-readable readiness handshake the parent
+// (and any process supervisor) waits on.
+func runRemoteShardChild(id, count, rows int, seed int64) error {
+	if id < 0 || count <= id {
+		return fmt.Errorf("shard child id %d out of range for count %d", id, count)
+	}
+	db, err := remoteGateDB(rows, seed)
+	if err != nil {
+		return err
+	}
+	key := remoteShardKey
+	key.Count = count
+	g, err := db.ShardTable("events", key)
+	if err != nil {
+		return err
+	}
+	ss := server.NewShardServer(g.ShardTable(id), server.ShardServerConfig{ShardID: id, Table: "events"})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SHARD-LISTENING %s\n", ln.Addr())
+	return http.Serve(ln, ss.Handler())
+}
+
+// spawnShardChild boots one shard-server child process and waits for its
+// readiness handshake, returning the base URL and the process handle.
+func spawnShardChild(id, count, rows int, seed int64) (*osexec.Cmd, string, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd := osexec.Command(self,
+		fmt.Sprintf("-remote-shard-child=%d", id),
+		fmt.Sprintf("-remote-shard-count=%d", count),
+		fmt.Sprintf("-rows=%d", rows),
+		fmt.Sprintf("-seed=%d", seed),
+	)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "SHARD-LISTENING "); ok {
+				addrCh <- a
+				break
+			}
+		}
+		io.Copy(io.Discard, out)
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			cmd.Process.Kill()
+			return nil, "", fmt.Errorf("shard child %d exited before announcing its address", id)
+		}
+		return cmd, "http://" + addr, nil
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("shard child %d did not announce within 60s", id)
+	}
+}
+
+// remoteGateSummary is the machine-readable gate outcome CI validates
+// with jq alongside the embedded flight-recorder bundle.
+type remoteGateSummary struct {
+	Shards              int             `json:"shards"`
+	Rows                int             `json:"rows"`
+	Seed                int64           `json:"seed"`
+	Killed              int             `json:"killed"`
+	HealthyBitIdentical bool            `json:"healthy_bit_identical"`
+	HealthyQueries      int             `json:"healthy_queries"`
+	Degraded            []int           `json:"degraded"`
+	Extrapolated        bool            `json:"extrapolated"`
+	Coverage            float64         `json:"coverage"`
+	ExactGuarantee      string          `json:"exact_guarantee"`
+	DeadShardAttributed bool            `json:"dead_shard_attributed"`
+	Flight              json.RawMessage `json:"flight"`
+}
+
+func runRemoteGate(rows int, seed int64, outDir string) error {
+	if rows < 8192 {
+		rows = 8192
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	post := func(h http.Handler, req server.QueryRequest) (int, server.QueryResponse, []byte, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, server.QueryResponse{}, nil, err
+		}
+		r := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+		r.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		var qr server.QueryResponse
+		if w.Code == http.StatusOK {
+			if err := json.Unmarshal(w.Body.Bytes(), &qr); err != nil {
+				return w.Code, qr, w.Body.Bytes(), fmt.Errorf("decode 200 body: %w", err)
+			}
+		}
+		return w.Code, qr, w.Body.Bytes(), nil
+	}
+	normalize := func(qr server.QueryResponse) server.QueryResponse {
+		qr.LatencyMS = 0
+		qr.Messages = nil
+		qr.Trace = nil
+		qr.TraceID = ""
+		return qr
+	}
+	requests := []server.QueryRequest{
+		{SQL: "SELECT COUNT(*) AS c, SUM(ev_value) AS s FROM events", Mode: "exact"},
+		{SQL: "SELECT ev_group, COUNT(*) AS c, AVG(ev_value) AS a FROM events GROUP BY ev_group ORDER BY ev_group", Mode: "exact"},
+		{SQL: "SELECT COUNT(*) AS c, SUM(ev_value) AS s FROM events", Mode: "online", RelError: 0.5, Confidence: 0.95},
+		{SQL: "SELECT ev_group, SUM(ev_value) AS s FROM events GROUP BY ev_group ORDER BY ev_group", Mode: "online", RelError: 0.5, Confidence: 0.95},
+	}
+
+	// In-process reference: the same data sharded locally at the same N.
+	ldb, err := remoteGateDB(rows, seed)
+	if err != nil {
+		return err
+	}
+	if _, err := ldb.ShardTable("events", remoteShardKey); err != nil {
+		return err
+	}
+	lh := server.New(ldb, server.Config{Workers: 4, Logger: logger}).Handler()
+	var local []server.QueryResponse
+	for _, req := range requests {
+		code, qr, raw, err := post(lh, req)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("local %q: status %d: %s", req.SQL, code, raw)
+		}
+		local = append(local, normalize(qr))
+	}
+
+	// Boot the shard-server children.
+	cmds := make([]*osexec.Cmd, remoteGateShards)
+	urls := make([]string, remoteGateShards)
+	defer func() {
+		for _, c := range cmds {
+			if c != nil && c.Process != nil {
+				c.Process.Kill()
+				c.Wait()
+			}
+		}
+	}()
+	for i := 0; i < remoteGateShards; i++ {
+		cmd, url, err := spawnShardChild(i, remoteGateShards, rows, seed)
+		if err != nil {
+			return fmt.Errorf("boot shard %d: %w", i, err)
+		}
+		cmds[i], urls[i] = cmd, url
+		fmt.Printf("remote gate: shard %d pid %d at %s\n", i, cmd.Process.Pid, url)
+	}
+
+	// Remote coordinator over the children.
+	rdb, err := remoteGateDB(rows, seed)
+	if err != nil {
+		return err
+	}
+	if _, err := rdb.AttachRemoteShards("events", remoteShardKey, urls, aqp.RemoteShardOptions{
+		ProbeInterval: 100 * time.Millisecond,
+		Retry:         fault.RetryConfig{Tries: 2, Base: 5 * time.Millisecond},
+	}); err != nil {
+		return fmt.Errorf("attach remote shards: %w", err)
+	}
+	defer rdb.Close()
+	rsrv := server.New(rdb, server.Config{Workers: 4, Telemetry: true, FlightQueries: 32, Logger: logger})
+	rh := rsrv.Handler()
+
+	// Phase 1 — healthy bit-identity across the process boundary.
+	for qi, req := range requests {
+		code, qr, raw, err := post(rh, req)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("remote healthy %q: status %d: %s", req.SQL, code, raw)
+		}
+		if qr.Shards == nil || len(qr.Shards.Degraded) != 0 {
+			return fmt.Errorf("remote healthy %q: degraded with all shards up: %s", req.SQL, raw)
+		}
+		rn := normalize(qr)
+		if !reflect.DeepEqual(local[qi], rn) {
+			lj, _ := json.Marshal(local[qi])
+			rj, _ := json.Marshal(rn)
+			return fmt.Errorf("remote answer differs from in-process shards for %q (mode %s):\nlocal:  %s\nremote: %s",
+				req.SQL, req.Mode, lj, rj)
+		}
+	}
+	fmt.Printf("remote gate: %d healthy responses bit-identical to in-process shards\n", len(requests))
+
+	// Phase 2 — SIGKILL one shard mid-flight; answers must stay honest.
+	const victim = 1
+	if err := cmds[victim].Process.Kill(); err != nil {
+		return fmt.Errorf("kill shard %d: %w", victim, err)
+	}
+	cmds[victim].Wait()
+	cmds[victim] = nil
+	fmt.Printf("remote gate: SIGKILLed shard %d\n", victim)
+
+	sum := remoteGateSummary{
+		Shards: remoteGateShards, Rows: rows, Seed: seed, Killed: victim,
+		HealthyBitIdentical: true, HealthyQueries: len(requests),
+	}
+
+	// Exact under loss: flagged degraded, guarantee gone, no extrapolation.
+	code, exQR, raw, err := post(rh, requests[0])
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("degraded exact query: status %d: %s", code, raw)
+	}
+	if exQR.Shards == nil || len(exQR.Shards.Degraded) != 1 || exQR.Shards.Degraded[0] != victim {
+		return fmt.Errorf("killed shard not attributed in exact response: %s", raw)
+	}
+	if !exQR.Degraded || exQR.Guarantee != "none" || exQR.Shards.Extrapolated {
+		return fmt.Errorf("degraded exact answer not honest (degraded=%v guarantee=%q extrapolated=%v): %s",
+			exQR.Degraded, exQR.Guarantee, exQR.Shards.Extrapolated, raw)
+	}
+	sum.ExactGuarantee = exQR.Guarantee
+
+	// Sampled under loss: extrapolated over the surviving hash shards,
+	// flagged, with well-formed CIs.
+	code, olQR, raw, err := post(rh, requests[2])
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("degraded online query: status %d: %s", code, raw)
+	}
+	sh := olQR.Shards
+	if sh == nil || len(sh.Degraded) != 1 || sh.Degraded[0] != victim || !sh.Extrapolated {
+		return fmt.Errorf("degraded online answer not extrapolation-flagged: %s", raw)
+	}
+	if sh.Coverage <= 0 || sh.Coverage >= 1 {
+		return fmt.Errorf("degraded coverage %v not in (0,1): %s", sh.Coverage, raw)
+	}
+	for _, row := range olQR.Items {
+		for _, it := range row {
+			if it.HasCI && (!(it.CILo <= it.CIHi) || !(it.Confidence > 0 && it.Confidence <= 1)) {
+				return fmt.Errorf("degraded online CI invalid [%g, %g] @ %g: %s", it.CILo, it.CIHi, it.Confidence, raw)
+			}
+		}
+	}
+	sum.Degraded = sh.Degraded
+	sum.Extrapolated = sh.Extrapolated
+	sum.Coverage = sh.Coverage
+
+	// GET /shards must mark the victim down, with address attribution.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r := httptest.NewRequest(http.MethodGet, "/shards", nil)
+		w := httptest.NewRecorder()
+		rh.ServeHTTP(w, r)
+		var groups []server.ShardGroupStatus
+		if err := json.Unmarshal(w.Body.Bytes(), &groups); err != nil {
+			return fmt.Errorf("decode /shards: %w", err)
+		}
+		if len(groups) == 1 && len(groups[0].Health) == remoteGateShards {
+			h := groups[0].Health[victim]
+			if !h.Alive && h.Kind == "remote" && h.Addr == urls[victim] {
+				sum.DeadShardAttributed = true
+			}
+		}
+		if sum.DeadShardAttributed {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/shards never attributed dead shard %d", victim)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Flight-recorder dump for jq validation in CI.
+	bundle := rsrv.FlightBundle("remote-gate")
+	sawRemote := false
+	for _, e := range bundle.Events {
+		if e.Kind == "shard_remote" || e.Kind == "shard" {
+			sawRemote = true
+			break
+		}
+	}
+	if !sawRemote {
+		return fmt.Errorf("flight recorder holds no shard events after the kill")
+	}
+	if err := writeRemoteGateJSON(outDir, sum, bundle); err != nil {
+		return err
+	}
+
+	fmt.Printf("remote gate OK: %d shards, killed %d, coverage %.4f, exact guarantee %q, extrapolated sampled answer, dead shard attributed\n",
+		remoteGateShards, victim, sum.Coverage, sum.ExactGuarantee)
+	return nil
+}
+
+func writeRemoteGateJSON(dir string, sum remoteGateSummary, bundle telemetry.Bundle) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fb, err := json.Marshal(bundle)
+	if err != nil {
+		return err
+	}
+	sum.Flight = fb
+	path := filepath.Join(dir, "remote_flight.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

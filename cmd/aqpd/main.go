@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -99,6 +100,11 @@ func main() {
 		shardKey   = flag.String("shard-key", "", "shard-routing column (required with -shards > 1)")
 		shardKind  = flag.String("shard-kind", "hash", "shard routing: hash or range")
 		shardTable = flag.String("shard-table", "", "table to shard (default: every table that has the -shard-key column)")
+		shardServe = flag.Bool("shard-serve", false, "run as a shard server: serve one loaded table's partition over the shard wire protocol (/shard/estimate, /shard/rebuild, /shard/health) instead of the full query API")
+		shardID    = flag.Int("shard-id", 0, "this shard's index within its group (with -shard-serve)")
+		remoteCall = flag.Duration("remote-call-timeout", 0, "per-call deadline on remote-shard RPCs (0 = library default)")
+		remoteHdg  = flag.Duration("remote-hedge-delay", 0, "remote-shard hedge delay (0 = adaptive p95, negative disables hedging)")
+		remotePrb  = flag.Duration("remote-probe-interval", 0, "remote-shard health-probe cadence (0 = library default, negative disables)")
 		telemetry  = flag.Bool("telemetry", false, "enable the observability layer: metric time-series (GET /metrics/history), SLO engine (GET /slo), flight recorder (GET /debug/flightrecord, dumped on SIGQUIT), span export (GET /debug/spans)")
 		telemStep  = flag.Duration("telemetry-step", 10*time.Second, "metric snapshot cadence")
 		telemWin   = flag.Duration("telemetry-window", 15*time.Minute, "metric history retention window")
@@ -107,8 +113,10 @@ func main() {
 		workloadN  = flag.Int("workload-cap", 256, "max query fingerprints tracked by workload insight (GET /workload); LRU-evicted beyond the cap, negative disables")
 		flightDump = flag.String("flight-dump", "", "directory for automatic flight-recorder dumps (panic, SLO fast burn, SIGQUIT); empty logs dumps to stderr as JSON")
 		loads      loadFlags
+		remotes    loadFlags
 	)
 	flag.Var(&loads, "load", "load a CSV table as name=path.csv (repeatable; types inferred)")
+	flag.Var(&remotes, "remote-shards", "attach remote shards as table=addr1,addr2,... (repeatable; requires -shard-key; shard i must be served at the i-th address)")
 	flag.Parse()
 
 	if *chaosCfg != "" {
@@ -140,10 +148,28 @@ func main() {
 		}
 	}
 
+	if *shardServe {
+		if err := runShardServer(db, *addr, *shardID, *shardTable); err != nil {
+			log.Fatalf("aqpd: %v", err)
+		}
+		return
+	}
+
 	if *shards > 0 {
 		if err := shardTables(db, *shards, *shardKey, *shardKind, *shardTable); err != nil {
 			log.Fatalf("aqpd: %v", err)
 		}
+	}
+	if len(remotes) > 0 {
+		opt := aqp.RemoteShardOptions{
+			CallTimeout:   *remoteCall,
+			HedgeDelay:    *remoteHdg,
+			ProbeInterval: *remotePrb,
+		}
+		if err := attachRemotes(db, remotes, *shardKey, *shardKind, opt); err != nil {
+			log.Fatalf("aqpd: %v", err)
+		}
+		defer db.Close()
 	}
 
 	level := slog.LevelInfo
@@ -241,6 +267,76 @@ func main() {
 		log.Printf("aqpd: http shutdown: %v", err)
 	}
 	log.Printf("aqpd: bye")
+}
+
+// runShardServer serves one loaded table's partition over the shard wire
+// protocol, blocking until SIGTERM/interrupt. The process is a leaf: no
+// admission control, no engines — the coordinator owns query semantics.
+func runShardServer(db *aqp.DB, addr string, shardID int, only string) error {
+	names := db.Catalog().Names()
+	name := only
+	if name == "" {
+		if len(names) != 1 {
+			return fmt.Errorf("-shard-serve with %d tables loaded requires -shard-table", len(names))
+		}
+		name = names[0]
+	}
+	t, err := db.Table(name)
+	if err != nil {
+		return err
+	}
+	ss := server.NewShardServer(t, server.ShardServerConfig{ShardID: shardID, Table: name})
+	httpSrv := &http.Server{Addr: addr, Handler: ss.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	// The machine-readable line that process supervisors (and the
+	// aqpbench chaos gate) wait for before pointing a coordinator here.
+	fmt.Printf("SHARD-LISTENING %s\n", ln.Addr().String())
+	os.Stdout.Sync()
+	log.Printf("aqpd: shard server for table %s (shard %d, %d rows) on %s",
+		name, shardID, t.NumRows(), ln.Addr().String())
+	select {
+	case err := <-errc:
+		return fmt.Errorf("shard serve: %w", err)
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutCtx)
+}
+
+// attachRemotes wires -remote-shards specs into the DB: each spec's table
+// scatters estimates over the listed shard servers under the robustness
+// envelope. Attach is loud: any unreachable shard fails startup.
+func attachRemotes(db *aqp.DB, specs []string, keyCol, kindName string, opt aqp.RemoteShardOptions) error {
+	kind, err := aqp.ParseShardKind(kindName)
+	if err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		name, list, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -remote-shards %q: want table=addr1,addr2,...", spec)
+		}
+		addrs := strings.Split(list, ",")
+		if len(addrs) > 1 && keyCol == "" {
+			return fmt.Errorf("-remote-shards %s: %d shards require -shard-key", name, len(addrs))
+		}
+		key := aqp.ShardKey{Column: keyCol, Kind: kind, Count: len(addrs)}
+		g, err := db.AttachRemoteShards(name, key, addrs, opt)
+		if err != nil {
+			return fmt.Errorf("attach remote shards for %s: %w", name, err)
+		}
+		log.Printf("table %s: %d remote shards attached (%s): %s",
+			name, len(addrs), g.Key(), strings.Join(addrs, " "))
+	}
+	return nil
 }
 
 // shardTables partitions the named table (or every table carrying the key

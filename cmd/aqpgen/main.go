@@ -225,7 +225,7 @@ func writeShards(out string, t *storage.Table, count int, keyCol, kindName strin
 			return err
 		}
 		w := bufio.NewWriterSize(f, 1<<20)
-		if err := aqp.DumpTableCSV(w, sh.Scan()); err != nil {
+		if err := aqp.DumpTableCSV(w, g.ShardTable(i)); err != nil {
 			f.Close()
 			return err
 		}

@@ -1,0 +1,256 @@
+package exec
+
+// Wire serialization of AggPartial states.
+//
+// Remote shards return their partial aggregation state over an HTTP/JSON
+// seam, and the gather step merges the decoded partials exactly as it
+// merges in-process ones. Bit-reproducibility is a repository guarantee,
+// so the codec must be lossless to the bit: every float64 is rendered as
+// its shortest decimal form that parses back to the identical bits
+// (strconv 'g'/-1, which also round-trips ±0, ±Inf, and NaN), group
+// states are emitted in sorted key order, and distinct sets as sorted
+// slices, so encoding is deterministic and golden-testable. The schema is
+// versioned; decoding an unknown version is refused loudly rather than
+// guessed at — a silently misread accumulator would be a silently wrong
+// answer.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// AggPartialWireVersion is the current wire schema version for
+// serialized partial aggregation states.
+const AggPartialWireVersion = 1
+
+// encF renders a float64 as the shortest decimal string that parses back
+// to the same bits.
+func encF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func decF(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("exec: wire float %q: %w", s, err)
+	}
+	return f, nil
+}
+
+// wireValue is a storage.Value on the wire. The float field travels as a
+// decimal string so ±0 and full precision survive the round trip.
+type wireValue struct {
+	T    uint8  `json:"t"`
+	Null bool   `json:"null,omitempty"`
+	I    int64  `json:"i,omitempty"`
+	F    string `json:"f,omitempty"`
+	S    string `json:"s,omitempty"`
+	B    bool   `json:"b,omitempty"`
+}
+
+func encValue(v storage.Value) wireValue {
+	w := wireValue{T: uint8(v.Typ), Null: v.Null, I: v.I, S: v.S, B: v.B}
+	if v.F != 0 || math.Signbit(v.F) {
+		w.F = encF(v.F)
+	}
+	return w
+}
+
+func decValue(w wireValue) (storage.Value, error) {
+	v := storage.Value{Typ: storage.Type(w.T), Null: w.Null, I: w.I, S: w.S, B: w.B}
+	if w.F != "" {
+		f, err := decF(w.F)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		v.F = f
+	}
+	return v, nil
+}
+
+// wireHT is the exported Horvitz–Thompson accumulator, fields as float
+// strings.
+type wireHT struct {
+	Sum    string `json:"sum"`
+	VarSum string `json:"var_sum"`
+	N      string `json:"n"`
+	WTot   string `json:"w_tot"`
+	W2Tot  string `json:"w2_tot"`
+	CovSN  string `json:"cov_sn"`
+}
+
+func encHT(s stats.HTState) wireHT {
+	return wireHT{Sum: encF(s.Sum), VarSum: encF(s.VarSum), N: encF(s.N),
+		WTot: encF(s.WTot), W2Tot: encF(s.W2Tot), CovSN: encF(s.CovSN)}
+}
+
+func decHT(w wireHT) (stats.HTState, error) {
+	var s stats.HTState
+	var err error
+	for _, f := range []struct {
+		src string
+		dst *float64
+	}{
+		{w.Sum, &s.Sum}, {w.VarSum, &s.VarSum}, {w.N, &s.N},
+		{w.WTot, &s.WTot}, {w.W2Tot, &s.W2Tot}, {w.CovSN, &s.CovSN},
+	} {
+		if *f.dst, err = decF(f.src); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+// wireAgg is one aggregate slot's accumulator: the HT state plus the
+// slot-specific extras (extrema, distinct set, percentile observations).
+// Weight-1 per-stratum keeps from the distinct sampler are ordinary rows
+// here — their w(w-1)=0 terms contribute zero variance, which is the FPC
+// behavior the estimator encodes.
+type wireAgg struct {
+	HT         wireHT     `json:"ht"`
+	Min        *wireValue `json:"min,omitempty"`
+	Max        *wireValue `json:"max,omitempty"`
+	Distinct   []string   `json:"distinct,omitempty"`
+	Weighted   bool       `json:"weighted,omitempty"`
+	NonNull    string     `json:"non_null"`
+	PctVals    []string   `json:"pct_vals,omitempty"`
+	PctWeights []string   `json:"pct_weights,omitempty"`
+}
+
+type wireGroup struct {
+	Key      string      `json:"key"`
+	GroupVal []wireValue `json:"group_val,omitempty"`
+	N        string      `json:"n"`
+	Aggs     []wireAgg   `json:"aggs"`
+}
+
+type aggPartialWire struct {
+	V        int         `json:"v"`
+	Counters Counters    `json:"counters"`
+	Groups   []wireGroup `json:"groups"`
+}
+
+// EncodeAggPartialWire serializes a partial aggregation state. The output
+// is deterministic: groups are emitted in sorted key order and distinct
+// sets as sorted slices.
+func EncodeAggPartialWire(p *AggPartial) ([]byte, error) {
+	if p == nil {
+		return nil, fmt.Errorf("exec: cannot encode a nil partial")
+	}
+	w := aggPartialWire{V: AggPartialWireVersion, Counters: p.Counters, Groups: []wireGroup{}}
+	keys := make([]string, 0, len(p.groups))
+	for k := range p.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		gs := p.groups[k]
+		wg := wireGroup{Key: gs.key, N: encF(gs.n)}
+		for _, v := range gs.groupVal {
+			wg.GroupVal = append(wg.GroupVal, encValue(v))
+		}
+		for _, st := range gs.aggs {
+			wa := wireAgg{HT: encHT(st.ht.State()), Weighted: st.weighted, NonNull: encF(st.nonNull)}
+			if !st.min.IsNull() {
+				v := encValue(st.min)
+				wa.Min = &v
+			}
+			if !st.max.IsNull() {
+				v := encValue(st.max)
+				wa.Max = &v
+			}
+			if st.distinct != nil {
+				wa.Distinct = make([]string, 0, len(st.distinct))
+				for d := range st.distinct {
+					wa.Distinct = append(wa.Distinct, d)
+				}
+				sort.Strings(wa.Distinct)
+			}
+			for _, f := range st.pctVals {
+				wa.PctVals = append(wa.PctVals, encF(f))
+			}
+			for _, f := range st.pctWeights {
+				wa.PctWeights = append(wa.PctWeights, encF(f))
+			}
+			wg.Aggs = append(wg.Aggs, wa)
+		}
+		w.Groups = append(w.Groups, wg)
+	}
+	return json.Marshal(w)
+}
+
+// DecodeAggPartialWire deserializes a partial aggregation state. Unknown
+// schema versions are rejected loudly: misreading an accumulator would
+// produce a silently wrong answer, which this repository never does.
+func DecodeAggPartialWire(data []byte) (*AggPartial, error) {
+	var w aggPartialWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("exec: decode partial wire: %w", err)
+	}
+	if w.V != AggPartialWireVersion {
+		return nil, fmt.Errorf("exec: partial wire version %d unsupported (this build speaks v%d): refusing to guess at an accumulator schema", w.V, AggPartialWireVersion)
+	}
+	p := &AggPartial{groups: make(map[string]*groupState, len(w.Groups)), Counters: w.Counters}
+	for _, wg := range w.Groups {
+		gs := &groupState{key: wg.Key}
+		var err error
+		if gs.n, err = decF(wg.N); err != nil {
+			return nil, err
+		}
+		for _, wv := range wg.GroupVal {
+			v, err := decValue(wv)
+			if err != nil {
+				return nil, err
+			}
+			gs.groupVal = append(gs.groupVal, v)
+		}
+		for _, wa := range wg.Aggs {
+			st := &aggState{weighted: wa.Weighted}
+			hs, err := decHT(wa.HT)
+			if err != nil {
+				return nil, err
+			}
+			st.ht = stats.HTFromState(hs)
+			if st.nonNull, err = decF(wa.NonNull); err != nil {
+				return nil, err
+			}
+			if wa.Min != nil {
+				if st.min, err = decValue(*wa.Min); err != nil {
+					return nil, err
+				}
+			}
+			if wa.Max != nil {
+				if st.max, err = decValue(*wa.Max); err != nil {
+					return nil, err
+				}
+			}
+			if wa.Distinct != nil {
+				st.distinct = make(map[string]struct{}, len(wa.Distinct))
+				for _, d := range wa.Distinct {
+					st.distinct[d] = struct{}{}
+				}
+			}
+			for _, s := range wa.PctVals {
+				f, err := decF(s)
+				if err != nil {
+					return nil, err
+				}
+				st.pctVals = append(st.pctVals, f)
+			}
+			for _, s := range wa.PctWeights {
+				f, err := decF(s)
+				if err != nil {
+					return nil, err
+				}
+				st.pctWeights = append(st.pctWeights, f)
+			}
+			gs.aggs = append(gs.aggs, st)
+		}
+		p.groups[gs.key] = gs
+	}
+	return p, nil
+}

@@ -1,0 +1,146 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the partial-wire golden fixtures")
+
+// wireQueries pins one query per aggregate kind the wire schema must
+// carry: plain and column COUNTs, COUNT(DISTINCT), SUM, AVG, MIN/MAX
+// (extrema values), PERCENTILE (observation lists), group-by keys, and
+// the weighted samplers whose per-stratum weight-1 keeps carry zero
+// variance (the FPC behavior). Each entry becomes a golden fixture.
+var wireQueries = []struct{ name, sql string }{
+	{"count_star", "SELECT COUNT(*) FROM ev"},
+	{"count_col", "SELECT COUNT(v) FROM ev"},
+	{"count_distinct", "SELECT COUNT(DISTINCT g) FROM ev"},
+	{"sum_avg", "SELECT SUM(v), AVG(v) FROM ev"},
+	{"min_max", "SELECT MIN(v), MAX(v) FROM ev"},
+	{"percentile", "SELECT PERCENTILE(v, 0.5) FROM ev"},
+	{"group_by", "SELECT g, COUNT(*), SUM(v) FROM ev GROUP BY g ORDER BY g"},
+	{"weighted_bernoulli", "SELECT COUNT(*), SUM(v) FROM ev TABLESAMPLE BERNOULLI (50)"},
+	{"weighted_universe", "SELECT COUNT(*) FROM ev TABLESAMPLE UNIVERSE (50) ON (g)"},
+	{"group_by_sampled", "SELECT g, COUNT(*) FROM ev TABLESAMPLE SYSTEM (50) GROUP BY g ORDER BY g"},
+}
+
+// TestAggPartialWireGolden: the wire encoding of every aggregate kind is
+// byte-for-byte pinned by a golden fixture (run with -update to
+// regenerate), decode→re-encode is byte-identical, and finalizing the
+// decoded partial is bit-identical to finalizing the original — the
+// losslessness the remote-shard guarantee rests on.
+func TestAggPartialWireGolden(t *testing.T) {
+	cat := parallelCatalog(t, 500)
+	for _, q := range wireQueries {
+		t.Run(q.name, func(t *testing.T) {
+			part, err := RunAggPartialContext(context.Background(), buildPlan(t, cat, q.sql), 2)
+			if err != nil {
+				t.Fatalf("partial %q: %v", q.sql, err)
+			}
+			blob, err := EncodeAggPartialWire(part)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+
+			path := filepath.Join("testdata", "partial_wire", q.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(bytes.Clone(blob), '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden fixture: %v (run with -update to generate)", err)
+			}
+			if !bytes.Equal(blob, bytes.TrimSuffix(want, []byte("\n"))) {
+				t.Errorf("encoding drifted from golden %s:\n got: %s\nwant: %s", path, blob, want)
+			}
+
+			dec, err := DecodeAggPartialWire(blob)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			blob2, err := EncodeAggPartialWire(dec)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(blob, blob2) {
+				t.Errorf("decode→re-encode not byte-identical:\n got: %s\nwant: %s", blob2, blob)
+			}
+
+			direct, err := FinalizeAggPartial(context.Background(), buildPlan(t, cat, q.sql), part)
+			if err != nil {
+				t.Fatalf("finalize original: %v", err)
+			}
+			viaWire, err := FinalizeAggPartial(context.Background(), buildPlan(t, cat, q.sql), dec)
+			if err != nil {
+				t.Fatalf("finalize decoded: %v", err)
+			}
+			assertResultsBitIdentical(t, q.sql, direct, viaWire)
+		})
+	}
+}
+
+// TestAggPartialWireSpecialFloats: ±0, ±Inf, and NaN-free extremes must
+// survive the string round trip with their exact bits.
+func TestAggPartialWireSpecialFloats(t *testing.T) {
+	for _, s := range []string{"-0", "0", "1e-323", "-1.7976931348623157e+308", "+Inf", "-Inf", "NaN"} {
+		f, err := decF(s)
+		if err != nil {
+			t.Fatalf("decF(%q): %v", s, err)
+		}
+		back, err := decF(encF(f))
+		if err != nil {
+			t.Fatalf("re-decode %q: %v", encF(f), err)
+		}
+		if encF(back) != encF(f) {
+			t.Errorf("float %q did not round-trip: %q vs %q", s, encF(back), encF(f))
+		}
+	}
+}
+
+// TestAggPartialWireVersionRejected: an unknown schema version must be
+// refused loudly — a misread accumulator would be a silently wrong
+// answer.
+func TestAggPartialWireVersionRejected(t *testing.T) {
+	cat := parallelCatalog(t, 100)
+	part, err := RunAggPartialContext(context.Background(), buildPlan(t, cat, "SELECT COUNT(*) FROM ev"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := EncodeAggPartialWire(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["v"] = json.RawMessage("99")
+	skewed, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeAggPartialWire(skewed); err == nil {
+		t.Fatal("decoded a version-99 partial without complaint")
+	} else if !strings.Contains(err.Error(), "version 99 unsupported") {
+		t.Fatalf("version rejection message %q does not name the versions", err)
+	}
+
+	if _, err := DecodeAggPartialWire([]byte("{not json")); err == nil {
+		t.Fatal("decoded malformed JSON without complaint")
+	}
+	if _, err := EncodeAggPartialWire(nil); err == nil {
+		t.Fatal("encoded a nil partial without complaint")
+	}
+}

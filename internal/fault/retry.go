@@ -2,8 +2,16 @@ package fault
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 )
+
+// ErrNoRetry, when wrapped into fn's returned error, marks the failure
+// permanent: further attempts cannot succeed (e.g. a 4xx rejection of a
+// well-formed request), so Retry returns immediately instead of burning
+// the backoff budget.
+var ErrNoRetry = errors.New("fault: permanent error")
 
 // RetryConfig tunes Retry's jittered exponential backoff.
 type RetryConfig struct {
@@ -34,8 +42,13 @@ func (c RetryConfig) withDefaults() RetryConfig {
 // Retry runs fn up to cfg.Tries times, sleeping an exponentially growing,
 // deterministically jittered interval between attempts. Context errors —
 // from fn or from ctx expiring mid-sleep — stop the loop immediately: a
-// caller past its deadline gains nothing from more attempts. The returned
-// error is fn's last, unwrapped chain intact.
+// caller past its deadline gains nothing from more attempts. Likewise,
+// when the context deadline would expire before a backoff sleep finishes,
+// Retry returns at once (wrapping context.DeadlineExceeded, which the
+// error taxonomy classifies as a timeout) rather than burning the
+// caller's remaining budget in a doomed sleep. Errors wrapping ErrNoRetry
+// are permanent and returned without further attempts. Otherwise the
+// returned error is fn's last, unwrapped chain intact.
 func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 	cfg = cfg.withDefaults()
 	var err error
@@ -52,7 +65,14 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 			h *= 0xbf58476d1ce4e5b9
 			h ^= h >> 27
 			frac := 0.5 + float64(h>>11)/(1<<53)
-			t := time.NewTimer(time.Duration(float64(d) * frac))
+			sleep := time.Duration(float64(d) * frac)
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= sleep {
+				// The deadline lands inside the backoff: the next attempt
+				// could never start, let alone complete.
+				return fmt.Errorf("fault: retry abandoned: deadline expires within the %v backoff: %w (last error: %w)",
+					sleep, context.DeadlineExceeded, err)
+			}
+			t := time.NewTimer(sleep)
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -62,6 +82,9 @@ func Retry(ctx context.Context, cfg RetryConfig, fn func() error) error {
 		}
 		if err = fn(); err == nil {
 			return nil
+		}
+		if errors.Is(err, ErrNoRetry) {
+			return err
 		}
 		if ctx.Err() != nil || context.Cause(ctx) != nil {
 			return err

@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryDeadlineAwareAbort: when the context deadline would expire
+// inside the next backoff sleep, Retry must return immediately (wrapping
+// context.DeadlineExceeded so the error taxonomy reads it as a timeout)
+// instead of sleeping out a doomed backoff. The guard here is wall-clock:
+// with Base one hour, a sleeping Retry would hang the test.
+func TestRetryDeadlineAwareAbort(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	boom := errors.New("boom")
+	calls := 0
+	start := time.Now()
+	err := Retry(ctx, RetryConfig{Tries: 5, Base: time.Hour}, func() error {
+		calls++
+		return boom
+	})
+	elapsed := time.Since(start)
+	if calls != 1 {
+		t.Fatalf("retry attempted %d times; the backoff cannot fit the deadline, want 1", calls)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("retry took %v to abandon a doomed backoff; should return at once", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("abandoned retry returned %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("abandoned retry returned %v, want the last attempt's error in the chain", err)
+	}
+}
+
+// TestRetryDeadlineFitsKeepsGoing: a deadline comfortably beyond the
+// backoff must not trigger the abandon path.
+func TestRetryDeadlineFitsKeepsGoing(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	calls := 0
+	err := Retry(ctx, RetryConfig{Tries: 3, Base: time.Microsecond}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("retry under a roomy deadline: err=%v calls=%d, want success on call 3", err, calls)
+	}
+}
+
+// TestRetryNoRetry: errors wrapping ErrNoRetry are permanent — one
+// attempt, immediate return, chain intact.
+func TestRetryNoRetry(t *testing.T) {
+	calls := 0
+	inner := errors.New("400 bad request")
+	err := Retry(context.Background(), RetryConfig{Tries: 5, Base: time.Microsecond}, func() error {
+		calls++
+		return fmt.Errorf("%w: %w", ErrNoRetry, inner)
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls, want 1", calls)
+	}
+	if !errors.Is(err, ErrNoRetry) || !errors.Is(err, inner) {
+		t.Fatalf("permanent error chain broken: %v", err)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: with many goroutines hammering Allow on
+// a cooled-down open breaker, exactly one wins the half-open probe and
+// the rest fail fast; the open→half-open transition fires exactly once.
+// Run under -race: this is the guard on the breaker's probe admission.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	var transitions sync.Map // "from→to" -> *int64
+	count := func(from, to BreakerState) {
+		key := from.String() + "→" + to.String()
+		v, _ := transitions.LoadOrStore(key, new(int64))
+		atomic.AddInt64(v.(*int64), 1)
+	}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Minute, OnTransition: count})
+
+	base := time.Now()
+	clock := int64(0) // nanoseconds past base, advanced atomically
+	b.now = func() time.Time { return base.Add(time.Duration(atomic.LoadInt64(&clock))) }
+
+	if tripped := b.Record(false); !tripped {
+		t.Fatal("threshold-1 breaker did not trip on first failure")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	atomic.StoreInt64(&clock, int64(2*time.Minute)) // cooldown elapsed
+
+	const callers = 64
+	var admitted int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				atomic.AddInt64(&admitted, 1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", admitted)
+	}
+	if got := transitionCount(&transitions, "open→half-open"); got != 1 {
+		t.Fatalf("open→half-open fired %d times, want exactly once", got)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", b.State())
+	}
+
+	// The probe's failure reopens once; a success after the next cooldown
+	// closes once. Both transitions must be edge-triggered.
+	if tripped := b.Record(false); !tripped {
+		t.Fatal("failed half-open probe did not count as a trip")
+	}
+	if got := transitionCount(&transitions, "half-open→open"); got != 1 {
+		t.Fatalf("half-open→open fired %d times, want exactly once", got)
+	}
+	atomic.StoreInt64(&clock, int64(4*time.Minute))
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed but no probe granted")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if got := transitionCount(&transitions, "half-open→closed"); got != 1 {
+		t.Fatalf("half-open→closed fired %d times, want exactly once", got)
+	}
+}
+
+func transitionCount(m *sync.Map, key string) int64 {
+	v, ok := m.Load(key)
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(v.(*int64))
+}

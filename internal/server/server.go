@@ -191,15 +191,30 @@ func New(db *aqp.DB, cfg Config) *Server {
 	}
 	// Per-shard outcome telemetry: one counter increment per shard per
 	// scatter, labeled by table, shard, and outcome; the flight recorder
-	// additionally retains non-ok outcomes as events.
+	// additionally retains non-ok outcomes as events. Remote envelope
+	// events (retries, hedges, probe transitions) get their own counters —
+	// they describe the wire, not a scatter outcome — and all but routine
+	// hedge fires land in the flight recorder too.
 	db.Shards().SetObserver(func(ev shard.Event) {
-		s.met.Inc(fmt.Sprintf(`shard_exec_total{outcome="%s",shard="%d",table="%s"}`,
-			EscapeLabelValue(ev.Type), ev.Shard, EscapeLabelValue(ev.Table)))
-		if s.flight != nil && ev.Type != "ok" {
-			s.flight.AddEvent(telemetry.Event{
-				Kind: "shard", Name: ev.Table, Detail: ev.Type, Shard: ev.Shard,
-				TraceID: ev.TraceID,
-			})
+		switch ev.Type {
+		case "retry", "hedge", "hedge_win", "probe_down", "probe_up":
+			s.met.Inc(fmt.Sprintf(`shard_remote_total{event="%s",shard="%d",table="%s"}`,
+				EscapeLabelValue(ev.Type), ev.Shard, EscapeLabelValue(ev.Table)))
+			if s.flight != nil && ev.Type != "hedge" {
+				s.flight.AddEvent(telemetry.Event{
+					Kind: "shard_remote", Name: ev.Table, Detail: ev.Type, Shard: ev.Shard,
+					TraceID: ev.TraceID,
+				})
+			}
+		default:
+			s.met.Inc(fmt.Sprintf(`shard_exec_total{outcome="%s",shard="%d",table="%s"}`,
+				EscapeLabelValue(ev.Type), ev.Shard, EscapeLabelValue(ev.Table)))
+			if s.flight != nil && ev.Type != "ok" {
+				s.flight.AddEvent(telemetry.Event{
+					Kind: "shard", Name: ev.Table, Detail: ev.Type, Shard: ev.Shard,
+					TraceID: ev.TraceID,
+				})
+			}
 		}
 	})
 	s.mux.HandleFunc("/query", s.handleQuery)

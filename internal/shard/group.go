@@ -1,24 +1,33 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/storage"
 )
 
-// Group is a sharded view over a base table: the base stays the ingest
-// surface (appends land there as before), and Sync routes newly appended
-// rows to the member shards. Every shard owns its rows, its sample seed,
+// Group is a sharded view over a base table. For local groups the base
+// stays the ingest surface (appends land there as before), and Sync
+// routes newly appended rows to the member shards. For remote groups the
+// shards are static partitions served by shard-server processes: the
+// coordinator keeps the base table for planning and ground truth, and
+// Sync is a no-op (remote topology changes are an operator action, not a
+// query-path side effect). Every shard owns its rows, its sample seed,
 // and its circuit breaker; the group owns only the routing.
 type Group struct {
-	name     string
-	base     *storage.Table
-	key      Key
-	keyIdx   int
-	shards   []*LocalShard
+	name   string
+	base   *storage.Table
+	key    Key
+	keyIdx int
+	shards []Shard
+	// locals is index-aligned with shards; nil entries are remote.
+	locals   []*LocalShard
+	remote   bool
 	breakers []*fault.Breaker
 
 	mu     sync.Mutex
@@ -32,6 +41,7 @@ type GroupSummary struct {
 	Table        string `json:"table"`
 	Count        int    `json:"count"`
 	Key          string `json:"key"`
+	Remote       bool   `json:"remote,omitempty"`
 	RowsPerShard []int  `json:"rows_per_shard"`
 }
 
@@ -55,7 +65,9 @@ func Partition(base *storage.Table, key Key, bcfg fault.BreakerConfig) (*Group, 
 		}
 	}
 	if key.Count == 1 {
-		g.shards = []*LocalShard{newLocalShard(0, base)}
+		s := newLocalShard(0, base)
+		g.shards = []Shard{s}
+		g.locals = []*LocalShard{s}
 		g.breakers = []*fault.Breaker{fault.NewBreaker(bcfg)}
 		g.routed = base.NumRows()
 		return g, nil
@@ -74,7 +86,9 @@ func Partition(base *storage.Table, key Key, bcfg fault.BreakerConfig) (*Group, 
 	for i := 0; i < key.Count; i++ {
 		t := storage.NewTableWithBlockSize(
 			fmt.Sprintf("%s__shard%d", base.Name(), i), schema, base.BlockSize())
-		g.shards = append(g.shards, newLocalShard(i, t))
+		s := newLocalShard(i, t)
+		g.shards = append(g.shards, s)
+		g.locals = append(g.locals, s)
 		g.breakers = append(g.breakers, fault.NewBreaker(bcfg))
 	}
 	if err := g.Sync(); err != nil {
@@ -82,6 +96,72 @@ func Partition(base *storage.Table, key Key, bcfg fault.BreakerConfig) (*Group, 
 	}
 	return g, nil
 }
+
+// AttachRemote builds a group whose shards live in shard-server processes
+// at the given base URLs (one per shard, in shard-index order). The
+// coordinator keeps base in its catalog for planning and exact ground
+// truth; the servers must have been loaded with the matching partition of
+// the same table (aqpgen -shards emits it) or scatter results will be
+// honestly wrong about what they cover. Every server is probed once
+// synchronously — an unreachable shard fails the attach loudly rather
+// than surfacing later as a degraded first query — and then probed in the
+// background at opt.ProbeInterval. Remote groups are static: Sync does
+// not route new base appends across the wire.
+func AttachRemote(base *storage.Table, key Key, addrs []string, opt RemoteOptions, bcfg fault.BreakerConfig) (*Group, error) {
+	if key.Count < 1 {
+		return nil, fmt.Errorf("shard: shard count %d < 1", key.Count)
+	}
+	if len(addrs) != key.Count {
+		return nil, fmt.Errorf("shard: %d shard addresses for %d shards", len(addrs), key.Count)
+	}
+	g := &Group{name: base.Name(), base: base, key: key, keyIdx: -1, remote: true}
+	if key.Column != "" {
+		g.keyIdx = base.Schema().ColumnIndex(key.Column)
+		if g.keyIdx < 0 {
+			return nil, fmt.Errorf("shard: key column %q not in table %s", key.Column, base.Name())
+		}
+	}
+	if key.Count > 1 && g.keyIdx < 0 {
+		return nil, fmt.Errorf("shard: %d shards require a key column", key.Count)
+	}
+	for i, addr := range addrs {
+		rs := newRemoteShard(i, base.Name(), addr, opt)
+		rs.onEvent = g.observe
+		g.shards = append(g.shards, rs)
+		g.locals = append(g.locals, nil)
+		g.breakers = append(g.breakers, fault.NewBreaker(bcfg))
+	}
+	// Synchronous first probe with a short retry budget: shard servers
+	// may still be binding their listeners.
+	for _, s := range g.shards {
+		rs := s.(*RemoteShard)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := fault.Retry(ctx, fault.RetryConfig{Tries: 5, Base: 20 * time.Millisecond, Max: 200 * time.Millisecond, Seed: int64(rs.id)},
+			func() error { return rs.probeOnce(ctx) })
+		cancel()
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("shard: remote shard %d (%s) unreachable: %w", rs.id, rs.addr, err)
+		}
+	}
+	for _, s := range g.shards {
+		s.(*RemoteShard).startProber()
+	}
+	return g, nil
+}
+
+// Close stops background work (remote health probers). Safe on local
+// groups and safe to call twice.
+func (g *Group) Close() {
+	for _, s := range g.shards {
+		if rs, ok := s.(*RemoteShard); ok {
+			rs.Close()
+		}
+	}
+}
+
+// Remote reports whether the group's shards are remote.
+func (g *Group) Remote() bool { return g.remote }
 
 // rangeCuts computes Count-1 upper boundaries at even quantiles of the
 // key column's current distribution (nulls excluded — they route to
@@ -124,8 +204,14 @@ func (g *Group) route(v storage.Value) int {
 
 // Sync routes base rows appended since the last Sync to their shards,
 // preserving base order within each shard. It runs implicitly before
-// every scatter, so queries always see the full table.
+// every scatter, so queries over local groups always see the full table.
+// Remote groups are static partitions and Sync is a no-op: rows appended
+// to the coordinator's base copy after attach are NOT shipped across the
+// wire (repartitioning is an operator action).
 func (g *Group) Sync() error {
+	if g.remote {
+		return nil
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if len(g.shards) == 1 {
@@ -145,14 +231,14 @@ func (g *Group) Sync() error {
 		dst := g.route(key)
 		batches[dst] = append(batches[dst], row)
 		if g.key.Kind == KeyRange {
-			g.shards[dst].extendBounds(key)
+			g.locals[dst].extendBounds(key)
 		}
 	}
 	for i, rows := range batches {
 		if len(rows) == 0 {
 			continue
 		}
-		if err := g.shards[i].table.AppendRows(rows); err != nil {
+		if err := g.locals[i].table.AppendRows(rows); err != nil {
 			return fmt.Errorf("shard: sync %s shard %d: %w", g.name, i, err)
 		}
 	}
@@ -172,17 +258,26 @@ func (g *Group) NumShards() int { return len(g.shards) }
 // Shards returns the member shards in index order.
 func (g *Group) Shards() []Shard {
 	out := make([]Shard, len(g.shards))
-	for i, s := range g.shards {
-		out[i] = s
-	}
+	copy(out, g.shards)
 	return out
+}
+
+// ShardTable returns shard i's in-process table, or nil when the shard is
+// remote (its rows live in another process). Used by tooling that dumps
+// or inspects local partitions.
+func (g *Group) ShardTable(i int) *storage.Table {
+	if i < 0 || i >= len(g.locals) || g.locals[i] == nil {
+		return nil
+	}
+	return g.locals[i].table
 }
 
 // Rows returns the total (base) row count.
 func (g *Group) Rows() int { return g.base.NumRows() }
 
-// SetObserver installs a callback invoked once per shard per scatter with
-// the shard's outcome; the server uses it for per-shard metrics.
+// SetObserver installs a callback invoked with per-shard outcomes during
+// scatters and with remote envelope events (retries, hedges, probe
+// transitions); the server uses it for metrics and flight records.
 func (g *Group) SetObserver(fn func(Event)) {
 	g.mu.Lock()
 	g.obs = fn
@@ -199,14 +294,15 @@ func (g *Group) observe(ev Event) {
 }
 
 // BuildSamples (re)materializes every shard's own uniform sample at the
-// given rate; each shard's seed is derived independently.
+// given rate; each shard's seed is derived independently here, so local
+// and remote shards receive identical, already-derived seeds.
 func (g *Group) BuildSamples(rate float64, seed int64) error {
 	if err := g.Sync(); err != nil {
 		return err
 	}
 	for _, s := range g.shards {
-		if err := s.Rebuild(rate, seed); err != nil {
-			return fmt.Errorf("shard: sample for %s shard %d: %w", g.name, s.id, err)
+		if err := s.Rebuild(rate, DeriveSeed(seed, s.ID())); err != nil {
+			return fmt.Errorf("shard: sample for %s shard %d: %w", g.name, s.ID(), err)
 		}
 	}
 	return nil
@@ -230,7 +326,7 @@ func (g *Group) Summary() GroupSummary {
 	for i, s := range g.shards {
 		rows[i] = s.Rows()
 	}
-	return GroupSummary{Table: g.name, Count: len(g.shards), Key: g.key.String(), RowsPerShard: rows}
+	return GroupSummary{Table: g.name, Count: len(g.shards), Key: g.key.String(), Remote: g.remote, RowsPerShard: rows}
 }
 
 // Map is a registry of shard groups keyed by table name. A nil *Map is a
@@ -297,5 +393,17 @@ func (m *Map) SetObserver(fn func(Event)) {
 	defer m.mu.Unlock()
 	for _, g := range m.groups {
 		g.SetObserver(fn)
+	}
+}
+
+// Close stops background work on every group (remote health probers).
+func (m *Map) Close() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range m.groups {
+		g.Close()
 	}
 }

@@ -10,19 +10,23 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/fault"
-	"repro/internal/plan"
 	"repro/internal/sample"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
-// Event is one shard's outcome in one scatter, delivered to the group
-// observer (server metrics).
+// Event is one shard-level occurrence delivered to the group observer
+// (server metrics and flight records): a shard's outcome in one scatter,
+// or a remote envelope event.
 type Event struct {
 	Table string
 	Shard int
-	// Type is "ok", "fail", "open" (breaker rejected), or "pruned".
+	// Type is a scatter outcome — "ok", "fail", "open" (breaker
+	// rejected), or "pruned" — or a remote envelope event: "retry" (an
+	// idempotent call re-attempted), "hedge" (a tail-latency hedge
+	// fired), "hedge_win" (the hedge answered first), "probe_down" /
+	// "probe_up" (background health-probe transitions).
 	Type string
 	// TraceID is the scatter's trace identifier ("" when the query ran
 	// untraced), letting downstream recorders attribute the outcome to
@@ -110,8 +114,15 @@ func (g *Group) Scatter(ctx context.Context, stmt *sqlparse.SelectStmt, opt Exec
 		per = 1
 	}
 
+	// Validate the statement's plan once against the base table, so a
+	// malformed query fails the whole scatter loudly instead of surfacing
+	// as N identical per-shard failures (or a "degraded" success).
+	if _, err := BuildShardQueryPlan(Query{Stmt: stmt, Sample: opt.Sample}, g.base); err != nil {
+		return nil, err
+	}
+
 	res := &ScatterResult{Outcomes: make([]ShardOutcome, n)}
-	plans := make([]plan.Node, n)
+	queries := make([]Query, n)
 	skip := make([]string, n) // non-"" = skipped with this status
 	lo, hi := keyInterval(stmt.Where, g.key.Column)
 	for i, sh := range g.shards {
@@ -125,15 +136,19 @@ func (g *Group) Scatter(ctx context.Context, stmt *sqlparse.SelectStmt, opt Exec
 			skip[i] = "open"
 			continue
 		}
-		rate := -1.0
-		if i < len(opt.ShardRates) {
-			rate = opt.ShardRates[i]
+		// Resolve the sampler spec per shard here, coordinator-side: the
+		// derived seed and any per-shard rate override travel inside the
+		// Query, so local and remote shards sample byte-identically.
+		q := Query{Stmt: stmt}
+		if opt.Sample != nil {
+			spec := *opt.Sample
+			if i < len(opt.ShardRates) && opt.ShardRates[i] >= 0 {
+				spec.Rate = opt.ShardRates[i]
+			}
+			spec.Seed = DeriveSeed(opt.Sample.Seed, i)
+			q.Sample = &spec
 		}
-		p, err := g.shardPlan(stmt, sh, opt.Sample, rate)
-		if err != nil {
-			return nil, err
-		}
-		plans[i] = p
+		queries[i] = q
 	}
 
 	sp, sctx := trace.StartSpan(ctx, fmt.Sprintf("scatter %s (%d shards)", g.name, n))
@@ -166,11 +181,15 @@ func (g *Group) Scatter(ctx context.Context, stmt *sqlparse.SelectStmt, opt Exec
 			continue
 		}
 		wg.Add(1)
-		go func(i int) {
+		// Each leg runs under its own span's context, so a remote shard
+		// reads its leg's traceparent — not the scatter parent's — when
+		// stamping the RPC headers.
+		lctx := trace.ContextWithSpan(sctx, spans[i])
+		go func(i int, lctx context.Context) {
 			defer wg.Done()
 			defer spans[i].End()
-			parts[i], errs[i] = g.runShard(sctx, i, plans[i], per, opt.StragglerTimeout)
-		}(i)
+			parts[i], errs[i] = g.runShard(lctx, i, queries[i], per, opt.StragglerTimeout)
+		}(i, lctx)
 	}
 	wg.Wait()
 
@@ -230,7 +249,7 @@ func (g *Group) Scatter(ctx context.Context, stmt *sqlparse.SelectStmt, opt Exec
 
 // runShard executes one shard's estimate, containing panics and applying
 // the straggler deadline.
-func (g *Group) runShard(ctx context.Context, i int, p plan.Node, workers int, deadline time.Duration) (*exec.AggPartial, error) {
+func (g *Group) runShard(ctx context.Context, i int, q Query, workers int, deadline time.Duration) (*exec.AggPartial, error) {
 	sh := g.shards[i]
 	run := func() (part *exec.AggPartial, err error) {
 		defer func() {
@@ -238,7 +257,7 @@ func (g *Group) runShard(ctx context.Context, i int, p plan.Node, workers int, d
 				err = fault.AsError(r)
 			}
 		}()
-		return sh.Estimate(ctx, p, workers)
+		return sh.Estimate(ctx, q, workers)
 	}
 	if deadline <= 0 {
 		return run()
@@ -260,35 +279,6 @@ func (g *Group) runShard(ctx context.Context, i int, p plan.Node, workers int, d
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
-}
-
-// shardPlan builds the statement's plan against a single shard's table
-// (registered under the group name, so the statement resolves unchanged)
-// and stamps the sampler with the shard-derived seed. rate ≥ 0 overrides
-// the sampler's rate for this shard (contract stage-two allocation).
-func (g *Group) shardPlan(stmt *sqlparse.SelectStmt, sh *LocalShard, smp *sample.Spec, rate float64) (plan.Node, error) {
-	cat := storage.NewCatalog()
-	if err := cat.AddAs(g.name, sh.Scan()); err != nil {
-		return nil, err
-	}
-	p, err := plan.Build(stmt, cat)
-	if err != nil {
-		return nil, err
-	}
-	scans := plan.Scans(p)
-	if smp == nil {
-		plan.ClearSamplers(p)
-		return p, nil
-	}
-	spec := *smp
-	if rate >= 0 {
-		spec.Rate = rate
-	}
-	spec.Seed = DeriveSeed(smp.Seed, sh.ID())
-	for _, s := range scans {
-		s.Sample = &spec
-	}
-	return p, nil
 }
 
 // keyInterval extracts the [lo, hi] constraint a WHERE clause places on
@@ -367,9 +357,10 @@ func compareParts(b *expr.Binary) (cr *expr.ColRef, lit storage.Value, flipped b
 
 // pruned reports whether the shard's observed key bounds fall entirely
 // outside the predicate interval — the shard provably holds no matching
-// rows and is skipped as covered, not degraded.
-func pruned(sh *LocalShard, lo, hi storage.Value) bool {
-	min, max, ok := sh.bounds()
+// rows and is skipped as covered, not degraded. Shards that don't track
+// bounds (remote, or hash-routed) never prune, which is always safe.
+func pruned(sh Shard, lo, hi storage.Value) bool {
+	min, max, ok := sh.Bounds()
 	if !ok {
 		return false
 	}

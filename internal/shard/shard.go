@@ -9,9 +9,11 @@
 // own stratum, and the gather step extrapolates the survivors honestly
 // when the sharding key makes that statistically sound.
 //
-// The Shard interface is deliberately narrow (Scan/Estimate/Rebuild/
-// Health) so the in-process implementation here can later be joined by a
-// network transport without touching the scatter executor.
+// Two implementations satisfy the Shard interface: LocalShard holds its
+// rows in-process, and RemoteShard speaks the versioned wire schema to a
+// shard-server process over HTTP, wrapped in a robustness envelope
+// (deadlines, deterministic retries, hedged requests, health probing).
+// The scatter executor is identical over both.
 package shard
 
 import (
@@ -23,6 +25,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/plan"
 	"repro/internal/sample"
+	"repro/internal/sqlparse"
 	"repro/internal/storage"
 )
 
@@ -82,8 +85,12 @@ func (k Key) String() string {
 
 // Health is one shard's liveness summary.
 type Health struct {
-	ID   int `json:"id"`
-	Rows int `json:"rows"`
+	ID int `json:"id"`
+	// Kind is "local" (in-process) or "remote".
+	Kind string `json:"kind"`
+	// Addr is the remote shard server's base URL ("" for local shards).
+	Addr string `json:"addr,omitempty"`
+	Rows int    `json:"rows"`
 	// Open reports whether the shard's circuit breaker currently rejects
 	// traffic.
 	Open bool `json:"open"`
@@ -95,28 +102,57 @@ type Health struct {
 	// SampleFresh reports whether the materialized sample was built at the
 	// shard's current version (vacuously false when none exists).
 	SampleFresh bool `json:"sample_fresh"`
+	// Alive is the last health probe's verdict (always true for local
+	// shards, which cannot be partitioned away from the coordinator).
+	Alive bool `json:"alive"`
+	// ProbeLatencyMS is the last successful health probe's round trip in
+	// milliseconds (0 for local shards, or before the first probe).
+	ProbeLatencyMS float64 `json:"probe_latency_ms,omitempty"`
+	// Retries / Hedges / HedgeWins count the remote envelope's activity
+	// since attach (0 for local shards).
+	Retries   int64 `json:"retries,omitempty"`
+	Hedges    int64 `json:"hedges,omitempty"`
+	HedgeWins int64 `json:"hedge_wins,omitempty"`
+}
+
+// Query is the executable unit a shard runs: the statement (scatter
+// executes its aggregate subtree) plus the sampler spec to push onto the
+// shard's scans. The spec's Seed and Rate are already shard-resolved by
+// the scatter executor — seeds derived per shard, rates Neyman-allocated
+// when a contract run asks for it — so local and remote shards make
+// byte-identical sampling decisions. A nil Sample runs exact (any
+// statement-level TABLESAMPLE is cleared, matching the exact engine).
+type Query struct {
+	Stmt   *sqlparse.SelectStmt
+	Sample *sample.Spec
 }
 
 // Shard is one independent partition of a table. Implementations must be
-// safe for concurrent Estimate calls; the in-process LocalShard is the
-// only implementation today, with the interface sized so a network
-// transport can slot in behind the same scatter executor later.
+// safe for concurrent Estimate calls. LocalShard executes in-process;
+// RemoteShard forwards to a shard-server over the versioned wire schema.
+// The scatter executor treats both identically.
 type Shard interface {
 	// ID is the shard's index within its group.
 	ID() int
-	// Rows is the shard's current population size.
+	// Kind is "local" or "remote".
+	Kind() string
+	// Rows is the shard's current population size (last reported size for
+	// remote shards).
 	Rows() int
-	// Scan returns the shard's table for planning and scanning.
-	Scan() *storage.Table
-	// Estimate executes the plan's aggregate subtree against this shard
+	// Estimate executes the query's aggregate subtree against this shard
 	// and returns the mergeable partial state.
-	Estimate(ctx context.Context, p plan.Node, workers int) (*exec.AggPartial, error)
+	Estimate(ctx context.Context, q Query, workers int) (*exec.AggPartial, error)
 	// Rebuild (re)materializes the shard's own uniform sample at the given
-	// rate, with its seed derived per shard so cross-shard samples stay
-	// independent.
+	// rate. The seed is already shard-derived by the caller (see
+	// DeriveSeed), keeping cross-shard samples independent.
 	Rebuild(rate float64, seed int64) error
 	// Health reports the shard's population and containment state.
 	Health() Health
+	// Bounds returns the observed [min, max] of the shard key when the
+	// shard tracks it (range-sharded local shards). ok == false disables
+	// range pruning for this shard, which is always safe — a shard that
+	// cannot prove emptiness simply runs.
+	Bounds() (lo, hi storage.Value, ok bool)
 }
 
 // LocalShard is the in-process Shard: a slice of the base table held as
@@ -149,23 +185,31 @@ func newLocalShard(id int, table *storage.Table) *LocalShard {
 // ID implements Shard.
 func (s *LocalShard) ID() int { return s.id }
 
+// Kind implements Shard.
+func (s *LocalShard) Kind() string { return "local" }
+
 // Rows implements Shard.
 func (s *LocalShard) Rows() int { return s.table.NumRows() }
 
-// Scan implements Shard.
+// Scan returns the shard's table for planning and scanning (local shards
+// only; remote shards hold their rows in another process).
 func (s *LocalShard) Scan() *storage.Table { return s.table }
 
 // Estimate implements Shard.
-func (s *LocalShard) Estimate(ctx context.Context, p plan.Node, workers int) (*exec.AggPartial, error) {
+func (s *LocalShard) Estimate(ctx context.Context, q Query, workers int) (*exec.AggPartial, error) {
 	if err := s.point.Inject(); err != nil {
+		return nil, err
+	}
+	p, err := BuildShardQueryPlan(q, s.table)
+	if err != nil {
 		return nil, err
 	}
 	return exec.RunAggPartialContext(ctx, p, workers)
 }
 
-// Rebuild implements Shard.
+// Rebuild implements Shard. The seed arrives already shard-derived.
 func (s *LocalShard) Rebuild(rate float64, seed int64) error {
-	res, err := sample.BuildUniformTable(s.table, rate, DeriveSeed(seed, s.id),
+	res, err := sample.BuildUniformTable(s.table, rate, seed,
 		fmt.Sprintf("%s__sample", s.table.Name()))
 	if err != nil {
 		return err
@@ -187,7 +231,7 @@ func (s *LocalShard) Sample() *sample.StratifiedResult {
 // Health implements Shard. Breaker state is stamped on by the owning
 // Group, which holds the breakers.
 func (s *LocalShard) Health() Health {
-	h := Health{ID: s.id, Rows: s.table.NumRows()}
+	h := Health{ID: s.id, Kind: "local", Rows: s.table.NumRows(), Alive: true}
 	s.mu.Lock()
 	if s.smp != nil {
 		h.SampleRows = s.smp.SampleRows
@@ -197,8 +241,9 @@ func (s *LocalShard) Health() Health {
 	return h
 }
 
-// bounds returns the observed [min, max] of the shard key, if tracked.
-func (s *LocalShard) bounds() (lo, hi storage.Value, ok bool) {
+// Bounds implements Shard: the observed [min, max] of the shard key, if
+// tracked.
+func (s *LocalShard) Bounds() (lo, hi storage.Value, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.minKey, s.maxKey, s.hasBounds
@@ -220,6 +265,43 @@ func (s *LocalShard) extendBounds(v storage.Value) {
 		}
 	}
 	s.mu.Unlock()
+}
+
+// buildPlanMu serializes concurrent plan builds over a shared statement:
+// plan.Build assigns aggregate Slot numbers on the AST as a side effect,
+// and scatter legs all plan from the scatter's one statement. The writes
+// are idempotent, but idempotent data races are still data races.
+var buildPlanMu sync.Mutex
+
+// BuildShardQueryPlan builds q's plan against a shard's table. The table
+// is registered in a private catalog under the statement's FROM name, so
+// the statement resolves unchanged, and q.Sample (already shard-resolved)
+// is stamped onto every scan; nil Sample clears samplers, matching the
+// exact engine. LocalShard and the shard-server estimate handler share
+// this, so a remote shard executes exactly the plan its local twin would.
+func BuildShardQueryPlan(q Query, t *storage.Table) (plan.Node, error) {
+	if q.Stmt == nil || q.Stmt.From.Name == "" {
+		return nil, fmt.Errorf("shard: query has no FROM table")
+	}
+	cat := storage.NewCatalog()
+	if err := cat.AddAs(q.Stmt.From.Name, t); err != nil {
+		return nil, err
+	}
+	buildPlanMu.Lock()
+	p, err := plan.Build(q.Stmt, cat)
+	buildPlanMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if q.Sample == nil {
+		plan.ClearSamplers(p)
+		return p, nil
+	}
+	spec := *q.Sample
+	for _, s := range plan.Scans(p) {
+		s.Sample = &spec
+	}
+	return p, nil
 }
 
 // DeriveSeed maps a query- or build-level seed to a shard-local one.

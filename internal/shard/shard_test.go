@@ -99,8 +99,8 @@ func TestPartitionRangeRouting(t *testing.T) {
 	// Shard key ranges are disjoint and ordered: max(shard i) <= min(shard i+1).
 	shards := g.shards
 	for i := 0; i+1 < len(shards); i++ {
-		_, hi, ok1 := shards[i].bounds()
-		lo, _, ok2 := shards[i+1].bounds()
+		_, hi, ok1 := shards[i].Bounds()
+		lo, _, ok2 := shards[i+1].Bounds()
 		if !ok1 || !ok2 {
 			t.Fatalf("range shard %d/%d missing bounds", i, i+1)
 		}
@@ -127,7 +127,7 @@ func TestPartitionSingleShardNoCopy(t *testing.T) {
 	}
 	// The single shard references the base table itself: same pointer, so
 	// execution sees the identical snapshot/morsel grid as unsharded runs.
-	if g.Shards()[0].Scan() != base {
+	if g.ShardTable(0) != base {
 		t.Fatal("single shard does not reference the base table directly")
 	}
 }

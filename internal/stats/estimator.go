@@ -181,6 +181,30 @@ func (h *HTEstimator) MeanVariance() float64 {
 	return v / (h.wTot * h.wTot)
 }
 
+// HTState is the exported accumulator state of an HTEstimator, for wire
+// serialization of partial aggregation states. Every component is a plain
+// sum over sampled rows, so State/HTFromState round-trip the estimator
+// exactly: a deserialized estimator merges and finalizes bit-identically
+// to the original.
+type HTState struct {
+	Sum    float64
+	VarSum float64
+	N      float64
+	WTot   float64
+	W2Tot  float64
+	CovSN  float64
+}
+
+// State exports the accumulator for serialization.
+func (h *HTEstimator) State() HTState {
+	return HTState{Sum: h.sum, VarSum: h.varSum, N: h.n, WTot: h.wTot, W2Tot: h.w2Tot, CovSN: h.covsn}
+}
+
+// HTFromState reconstructs an estimator from an exported state.
+func HTFromState(s HTState) HTEstimator {
+	return HTEstimator{sum: s.Sum, varSum: s.VarSum, n: s.N, wTot: s.WTot, w2Tot: s.W2Tot, covsn: s.CovSN}
+}
+
 // SumInterval returns a CLT confidence interval for the population sum.
 func (h *HTEstimator) SumInterval(confidence float64) Interval {
 	return cltInterval(h.sum, h.varSum, h.n, confidence)

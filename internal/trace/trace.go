@@ -120,6 +120,18 @@ func WithTracer(ctx context.Context, t *Tracer) context.Context {
 	return withSpan(ctx, t.root)
 }
 
+// ContextWithSpan installs sp as the current span on ctx (no-op for a
+// nil span). Fan-out paths that pre-create per-leg spans — the scatter
+// executor — use this so each leg's context carries its own span, and a
+// remote call made under it propagates the leg's traceparent, not the
+// parent's.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return withSpan(ctx, sp)
+}
+
 // Propagate copies src's current span onto dst, so work continuing
 // under a fresh context (a degradation-ladder rung with its own budget)
 // keeps appending to the same trace. No-op when src carries no span.
